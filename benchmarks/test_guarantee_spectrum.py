@@ -1,0 +1,179 @@
+"""Section 5.4 ablation: trading correctness for performance.
+
+Clonos' building blocks compose into the guarantee spectrum:
+
+* DSD=0 (in-flight logs only)  -> at-least-once, minimal overhead;
+* DSD=f                        -> exactly-once up to f consecutive failures,
+                                  global-rollback fallback beyond (Figure 4);
+* DSD=Full                     -> exactly-once always, highest overhead.
+
+Plus the Section 5.5 extension: exactly-once *output* without transactional
+commit latency, via determinants piggybacked on sink records.
+"""
+
+from collections import Counter
+
+from repro.config import FaultToleranceMode
+from repro.core.output import ExactlyOnceKafkaSink
+from repro.external.kafka import DurableLog
+from repro.graph.logical import JobGraphBuilder
+from repro.harness.experiment import run_experiment
+from repro.harness.figures import experiment_config
+from repro.harness.reporters import render_table
+from repro.operators import KafkaSink, KafkaSource, Operator, TransactionalKafkaSink
+
+
+class TagOperator(Operator):
+    def __init__(self):
+        self._seen = 0
+
+    def process(self, record, ctx):
+        self._seen += 1
+        ctx.collect(("tag", record.value))
+
+    def snapshot(self):
+        return self._seen
+
+    def restore(self, state):
+        self._seen = state or 0
+
+
+def chain_graph(n_records=5000, rate=2000.0, sink_factory=None):
+    def build(log, external):
+        log.create_generated_topic("in", 1, lambda p, off: off, rate, n_records)
+        log.create_topic("out", 1)
+        builder = JobGraphBuilder("spectrum")
+        stream = builder.source("src", lambda: KafkaSource(log, "in"))
+        a = stream.key_by(lambda v: v % 5).process("a", TagOperator)
+        b = a.key_by(lambda v: v[1] % 5).process(
+            "b", lambda: TagOperator()
+        )
+        factory = sink_factory or (lambda log=log: KafkaSink(log, "out"))
+        b.key_by(lambda v: 0).sink("sink", lambda: factory(log))
+        return builder.build()
+
+    return build
+
+
+def fast_config(mode, dsd=None):
+    return experiment_config(
+        mode,
+        dsd,
+        checkpoint_interval=0.5,
+        connection_failure_detection=0.05,
+        standby_activation_time=0.05,
+        task_deploy_time=0.5,
+        heartbeat_interval=0.2,
+        heartbeat_timeout=0.3,
+    )
+
+
+def counts_of(result):
+    return Counter(v for _t, v in
+                   ((tag, val[1]) for tag, val in result.output_values()))
+
+
+def test_dsd0_is_at_least_once(once):
+    config = fast_config(FaultToleranceMode.CLONOS, dsd=0)
+
+    def run():
+        return run_experiment(
+            chain_graph(), config, kills=[(0.9, "a[0]")], limit=3600
+        )
+
+    result = once(run)
+    counts = counts_of(result)
+    assert set(counts) == set(range(5000))  # no loss
+    assert any(c > 1 for c in counts.values())  # divergent replay duplicates
+    assert config.guarantee.value == "at-least-once"
+
+
+def test_dsd1_single_failure_exactly_once(once):
+    config = fast_config(FaultToleranceMode.CLONOS, dsd=1)
+
+    def run():
+        return run_experiment(
+            chain_graph(), config, kills=[(0.9, "a[0]")], limit=3600
+        )
+
+    result = once(run)
+    counts = counts_of(result)
+    assert set(counts) == set(range(5000))
+    assert all(c == 1 for c in counts.values())
+
+
+def test_dsd1_two_consecutive_failures_fall_back_to_global(once):
+    """Two connected concurrent failures exceed DSD=1: the Figure 4 orphan
+    case triggers the global-rollback fallback, preserving consistency at
+    the cost of availability."""
+    config = fast_config(FaultToleranceMode.CLONOS, dsd=1)
+
+    def run():
+        return run_experiment(
+            chain_graph(), config, kills=[(0.9, "a[0]"), (0.9, "b[0]")], limit=3600
+        )
+
+    result = once(run)
+    fallback_events = [e for e in result.recovery_events if e[1] == "orphan-fallback"]
+    restart_events = [e for e in result.recovery_events if "global-restart" in e[1]]
+    print()
+    print("recovery events:", result.recovery_events)
+    assert fallback_events, "expected the orphan case to trigger a fallback"
+    assert restart_events
+    counts = counts_of(result)
+    assert set(counts) == set(range(5000))  # nothing lost (state path exact)
+
+
+def test_full_dsd_survives_two_consecutive_failures_locally(once):
+    config = fast_config(FaultToleranceMode.CLONOS, dsd=None)
+
+    def run():
+        return run_experiment(
+            chain_graph(), config, kills=[(0.9, "a[0]"), (0.9, "b[0]")], limit=3600
+        )
+
+    result = once(run)
+    assert not [e for e in result.recovery_events if e[1] == "orphan-fallback"]
+    counts = counts_of(result)
+    assert set(counts) == set(range(5000))
+    assert all(c == 1 for c in counts.values())
+
+
+def test_section55_exactly_once_output(once):
+    """Sink-task failure: the Section 5.5 determinant-piggyback sink keeps
+    the output topic exactly-once without transactional commit latency."""
+
+    def run():
+        out = {}
+        for label, factory in (
+            ("plain", lambda log: KafkaSink(log, "out")),
+            ("exactly-once", lambda log: ExactlyOnceKafkaSink(log, "out")),
+            ("transactional", lambda log: TransactionalKafkaSink(log, "out")),
+        ):
+            config = fast_config(FaultToleranceMode.CLONOS, dsd=None)
+            out[label] = run_experiment(
+                chain_graph(sink_factory=factory),
+                config,
+                kills=[(0.9, "sink[0]")],
+                limit=3600,
+            )
+        return out
+
+    results = once(run)
+    rows = []
+    for label, result in results.items():
+        counts = counts_of(result)
+        dup = sum(c - 1 for c in counts.values())
+        lost = 5000 - len(counts)
+        p50 = result.latency_percentile(50, end=0.9)
+        rows.append((label, dup, lost, f"{p50 * 1e3:.1f}"))
+    print()
+    print("Section 5.5: exactly-once output options under a sink failure")
+    print(render_table(["sink", "duplicates", "lost", "pre-fail p50 (ms)"], rows))
+    by = {r[0]: r for r in rows}
+    assert by["plain"][1] > 0  # plain sink re-appends the replayed epoch
+    assert by["exactly-once"][1] == 0 and by["exactly-once"][2] == 0
+    assert by["transactional"][1] == 0 and by["transactional"][2] == 0
+    # The 2PC sink pays up to a checkpoint interval of output latency; the
+    # determinant-piggyback sink stays at plain-sink latency.
+    assert float(by["transactional"][3]) > float(by["exactly-once"][3]) * 3

@@ -1,0 +1,37 @@
+"""Quick probe of the figure harness at tiny scale (dev tool)."""
+
+import sys
+import time
+
+from repro.harness.figures import (
+    fig5_overhead,
+    fig6_single_failure,
+    table1_assumptions,
+)
+
+which = sys.argv[1] if len(sys.argv) > 1 else "fig5"
+t0 = time.time()
+
+if which == "fig5":
+    rows = fig5_overhead(queries=("Q1", "Q3", "Q5"), events_per_partition=4000)
+    for r in rows:
+        print(
+            f"{r.query}: flink={r.flink_rate:.0f}/s dsd1={r.rel_dsd1:.3f} "
+            f"full={r.rel_full:.3f}"
+        )
+elif which == "fig6":
+    runs = fig6_single_failure(
+        query="Q3", events_per_partition=12000, kill_at=3.0, checkpoint_interval=1.5
+    )
+    for label, run in runs.items():
+        print(label, "recovery_time:", run.recovery_time,
+              "outputs:", len(run.result.output_values()))
+elif which == "table1":
+    for cell in table1_assumptions(n_records=2500):
+        print(
+            f"{cell.mode:16s} det={cell.deterministic!s:5s} "
+            f"lost={cell.lost} dup={cell.duplicated} inconsistent={cell.inconsistent} "
+            f"exactly_once={cell.exactly_once}"
+        )
+
+print(f"[{time.time() - t0:.1f}s wall]", file=sys.stderr)

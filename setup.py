@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The reference environment is offline and lacks the ``wheel`` package, so a
+PEP 517 editable install cannot build. Keeping this ``setup.py`` (and no
+``[build-system]`` table in pyproject.toml) lets ``pip install -e .`` fall
+back to ``setup.py develop``, which works everywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Clonos reproduction: consistent causal recovery for highly-available "
+        "streaming dataflows, on a simulated distributed stream processor"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,39 @@
+"""repro: a reproduction of Clonos (SIGMOD 2021) on a simulated stream processor.
+
+Public API surface::
+
+    from repro import (
+        JobGraphBuilder, JobConfig, FaultToleranceMode, JobManager, ...
+    )
+
+See README.md for the quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.config import (
+    ClonosConfig,
+    CostModel,
+    FaultToleranceMode,
+    Guarantee,
+    JobConfig,
+    SpillPolicy,
+)
+from repro.graph.logical import DataStream, JobGraph, JobGraphBuilder
+from repro.runtime.jobmanager import JobManager
+from repro.sim.core import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClonosConfig",
+    "CostModel",
+    "DataStream",
+    "Environment",
+    "FaultToleranceMode",
+    "Guarantee",
+    "JobConfig",
+    "JobGraph",
+    "JobGraphBuilder",
+    "JobManager",
+    "SpillPolicy",
+    "__version__",
+]

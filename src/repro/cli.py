@@ -1,0 +1,179 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+    python -m repro fig5 [--queries Q1,Q5] [--events 6000]
+    python -m repro fig6-single [--query Q3] [--victim 'join[0]']
+    python -m repro fig6-multi [--concurrent]
+    python -m repro memory
+    python -m repro table1
+    python -m repro spectrum
+
+Every subcommand prints the reproduced table/series of the corresponding
+figure; see EXPERIMENTS.md for the mapping to the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.figures import (
+    fig5_overhead,
+    fig6_multi_failures,
+    fig6_single_failure,
+    latency_overhead,
+    memory_spill_study,
+    table1_assumptions,
+)
+from repro.harness.reporters import render_series, render_table
+from repro.nexmark.queries import QUERIES
+
+
+def _cmd_fig5(args) -> int:
+    queries = (
+        tuple(q.strip().upper() for q in args.queries.split(","))
+        if args.queries
+        else tuple(sorted(QUERIES, key=lambda q: int(q[1:])))
+    )
+    unknown = [q for q in queries if q not in QUERIES]
+    if unknown:
+        print(f"unknown queries: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    rows = fig5_overhead(queries=queries, events_per_partition=args.events)
+    print("Figure 5: relative throughput vs vanilla Flink")
+    print(
+        render_table(
+            ["query", "flink rec/s", "clonos DSD=1", "clonos DSD=Full"],
+            [
+                (r.query, f"{r.flink_rate:.0f}", f"{r.rel_dsd1:.3f}", f"{r.rel_full:.3f}")
+                for r in rows
+            ],
+        )
+    )
+    lat = latency_overhead(query=queries[0], events_per_partition=args.events)
+    print()
+    print(
+        render_table(
+            ["latency (" + queries[0] + ")", "p50 ms", "p99 ms"],
+            [
+                ("flink", f"{lat.flink_p50 * 1e3:.2f}", f"{lat.flink_p99 * 1e3:.2f}"),
+                ("clonos DSD=1", f"{lat.dsd1_p50 * 1e3:.2f}", f"{lat.dsd1_p99 * 1e3:.2f}"),
+                ("clonos Full", f"{lat.full_p50 * 1e3:.2f}", f"{lat.full_p99 * 1e3:.2f}"),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_fig6_single(args) -> int:
+    runs = fig6_single_failure(
+        query=args.query,
+        victim=args.victim,
+        events_per_partition=args.events,
+        rate=args.rate,
+        kill_at=args.kill_at,
+    )
+    for label, run in runs.items():
+        recovery = run.recovery_time
+        print(f"\n=== {label} ===")
+        print(
+            "recovery time:",
+            f"{recovery:.2f}s" if recovery is not None else "n/a",
+        )
+        print(render_series("output rate", run.throughput_series()))
+    return 0
+
+
+def _cmd_fig6_multi(args) -> int:
+    runs = fig6_multi_failures(concurrent=args.concurrent)
+    flavour = "concurrent" if args.concurrent else "staggered"
+    print(f"three {flavour} failures on the synthetic chain")
+    for label, run in runs.items():
+        recovery = run.recovery_time
+        print(f"\n=== {label} ===")
+        print(
+            "recovery time:",
+            f"{recovery:.2f}s" if recovery is not None else "n/a",
+        )
+        print(render_series("output rate", run.throughput_series()))
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    rows = memory_spill_study(duration=args.duration)
+    print("Section 7.5: spill policies x pool sizes")
+    print(
+        render_table(
+            ["policy", "pool KB", "ingest rec/s", "peak bufs", "spilled"],
+            [
+                (r.policy, r.pool_kbytes, f"{r.rate:.0f}", r.peak_memory_buffers,
+                 r.spilled_buffers)
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    cells = table1_assumptions(n_records=args.events)
+    print("Table 1 (operationalised): consistency after recovering a failure")
+    print(
+        render_table(
+            ["scheme", "operator", "lost", "dup", "inconsistent", "exactly-once"],
+            [
+                (
+                    c.mode,
+                    "deterministic" if c.deterministic else "nondeterministic",
+                    c.lost, c.duplicated, c.inconsistent,
+                    "yes" if c.exactly_once else "NO",
+                )
+                for c in cells
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clonos reproduction: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p5 = sub.add_parser("fig5", help="overhead under normal operation")
+    p5.add_argument("--queries", help="comma-separated subset, e.g. Q1,Q5,Q7")
+    p5.add_argument("--events", type=int, default=6000,
+                    help="events per source partition")
+    p5.set_defaults(fn=_cmd_fig5)
+
+    p6 = sub.add_parser("fig6-single", help="single-operator failure")
+    p6.add_argument("--query", default="Q3", choices=("Q3", "Q8"))
+    p6.add_argument("--victim", default="join[0]")
+    p6.add_argument("--events", type=int, default=36000)
+    p6.add_argument("--rate", type=float, default=6000.0)
+    p6.add_argument("--kill-at", type=float, default=4.0, dest="kill_at")
+    p6.set_defaults(fn=_cmd_fig6_single)
+
+    p6m = sub.add_parser("fig6-multi", help="multiple/concurrent failures")
+    p6m.add_argument("--concurrent", action="store_true")
+    p6m.set_defaults(fn=_cmd_fig6_multi)
+
+    pm = sub.add_parser("memory", help="spill-policy/memory study")
+    pm.add_argument("--duration", type=float, default=12.0)
+    pm.set_defaults(fn=_cmd_memory)
+
+    pt = sub.add_parser("table1", help="consistency vs determinism matrix")
+    pt.add_argument("--events", type=int, default=4000)
+    pt.set_defaults(fn=_cmd_table1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

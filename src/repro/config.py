@@ -1,0 +1,228 @@
+"""Job and cluster configuration.
+
+Two orthogonal knobs drive every experiment in the paper:
+
+* the **fault-tolerance scheme** (:class:`FaultToleranceMode`), selecting
+  vanilla-Flink global rollback, Clonos, or one of the weaker baselines, and
+* the **cost model** (:class:`CostModel`), which turns logical actions
+  (processing a record, shipping a buffer, restarting a process) into
+  simulated time so that throughput/latency/recovery *shapes* emerge from the
+  mechanisms rather than being hard-coded.
+
+Defaults are calibrated so that a saturated single task processes on the
+order of 10⁴ records/s of simulated time, roughly 1/100 of the per-core rates
+in the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import JobError
+
+
+class FaultToleranceMode(enum.Enum):
+    """Which recovery scheme the job runs under."""
+
+    #: No fault tolerance at all (failures lose the job).
+    NONE = "none"
+    #: Flink-style global rollback: tear down the whole graph, restart from
+    #: the last completed checkpoint (Section 3.2).
+    GLOBAL_ROLLBACK = "global_rollback"
+    #: Clonos: local recovery with in-flight logs + causal logging
+    #: (+ optional standby tasks).
+    CLONOS = "clonos"
+    #: Gap recovery: restart the failed task from its checkpoint but replay
+    #: nothing (at-most-once, Section 5.4).
+    GAP_RECOVERY = "gap_recovery"
+    #: Divergent local replay: in-flight logs without determinants
+    #: (at-least-once, Clonos with DSD=0, Section 5.4).
+    DIVERGENT = "divergent"
+    #: SEEP/TimeStream-style local recovery with receiver-side deduplication
+    #: keyed on monotonic logical timestamps; *assumes determinism* (Table 1).
+    SEEP = "seep"
+
+
+class Guarantee(enum.Enum):
+    """Processing guarantee delivered by a scheme (Section 5.4)."""
+
+    AT_MOST_ONCE = "at-most-once"
+    AT_LEAST_ONCE = "at-least-once"
+    EXACTLY_ONCE = "exactly-once"
+
+    @staticmethod
+    def of(mode: "FaultToleranceMode", deterministic_job: bool = False) -> "Guarantee":
+        """The guarantee a mode provides (SEEP's depends on determinism)."""
+        if mode in (FaultToleranceMode.NONE, FaultToleranceMode.GAP_RECOVERY):
+            return Guarantee.AT_MOST_ONCE
+        if mode is FaultToleranceMode.DIVERGENT:
+            return Guarantee.AT_LEAST_ONCE
+        if mode is FaultToleranceMode.SEEP:
+            return Guarantee.EXACTLY_ONCE if deterministic_job else Guarantee.AT_LEAST_ONCE
+        return Guarantee.EXACTLY_ONCE
+
+
+class SpillPolicy(enum.Enum):
+    """In-flight log spill policies (Section 6.1)."""
+
+    IN_MEMORY = "in-memory"
+    SPILL_EPOCH = "spill-epoch"
+    SPILL_BUFFER = "spill-buffer"
+    SPILL_THRESHOLD = "spill-threshold"
+
+
+@dataclass
+class CostModel:
+    """Simulated-time costs of the physical actions in the system.
+
+    All times are seconds of simulated time; all sizes are bytes.
+    """
+
+    # -- CPU ---------------------------------------------------------------
+    #: Base cost of pushing one record through one operator.
+    record_cpu_cost: float = 20e-6
+    #: Cost per byte of (de)serialising record payloads.
+    serialize_cost_per_byte: float = 4e-9
+    #: Fixed per-buffer handling cost (syscalls, bookkeeping).
+    buffer_overhead_cost: float = 15e-6
+
+    # -- causal logging (Clonos overhead knobs) --------------------------------
+    #: CPU cost of appending/serialising/merging one determinant log entry.
+    #: The paper's closing remark ("reducing the overhead of causal logging
+    #: through compressed data structures") is about exactly this constant.
+    determinant_cpu_cost: float = 2.2e-6
+    #: Per-dispatched-buffer bookkeeping of the in-flight log (the exchange).
+    inflight_append_cost: float = 6e-6
+
+    # -- network -------------------------------------------------------------
+    #: One-way propagation latency of a network link.
+    network_latency: float = 0.5e-3
+    #: Link bandwidth in bytes/second.
+    network_bandwidth: float = 120e6
+    #: Latency of a control-plane RPC (job manager <-> task).
+    rpc_latency: float = 2e-3
+
+    # -- buffers -------------------------------------------------------------
+    #: Serialised capacity of one network buffer.
+    buffer_size_bytes: int = 4096
+    #: Buffers in each output channel's pool (Flink keeps this small to
+    #: preserve backpressure; Section 6.1).
+    output_pool_buffers: int = 10
+    #: Receiver-side queue depth per input channel (credits).
+    input_queue_buffers: int = 8
+    #: Periodic flush interval of the output flusher thread.
+    flush_interval: float = 20e-3
+
+    # -- durable storage -------------------------------------------------------
+    #: DFS (HDFS-like) write and read bandwidth for checkpoints.
+    dfs_write_bandwidth: float = 80e6
+    dfs_read_bandwidth: float = 100e6
+    #: Fixed latency of a DFS operation.
+    dfs_latency: float = 5e-3
+    #: Local disk bandwidth used by the spilling in-flight log.
+    disk_bandwidth: float = 200e6
+    disk_latency: float = 1e-3
+
+    # -- failure detection & deployment ---------------------------------------
+    #: Heartbeat period and timeout (paper Section 7.1: 4s / 6s).
+    heartbeat_interval: float = 4.0
+    heartbeat_timeout: float = 6.0
+    #: Local-recovery modes detect failures by connection reset (TCP) on the
+    #: neighbours, far faster than job-manager heartbeats.
+    connection_failure_detection: float = 0.25
+    #: Time to deploy a fresh task process (JVM/container start, code init).
+    task_deploy_time: float = 8.0
+    #: Time to cancel a running task during a global restart.
+    task_cancel_time: float = 1.0
+    #: Time for an idle standby task to start running (sub-second switch).
+    standby_activation_time: float = 0.3
+
+    def transmission_time(self, size_bytes: int) -> float:
+        """Wire time of one buffer."""
+        return self.network_latency + size_bytes / self.network_bandwidth
+
+    def serialize_time(self, size_bytes: int) -> float:
+        return size_bytes * self.serialize_cost_per_byte
+
+    def dfs_write_time(self, size_bytes: int) -> float:
+        return self.dfs_latency + size_bytes / self.dfs_write_bandwidth
+
+    def dfs_read_time(self, size_bytes: int) -> float:
+        return self.dfs_latency + size_bytes / self.dfs_read_bandwidth
+
+    def disk_write_time(self, size_bytes: int) -> float:
+        return self.disk_latency + size_bytes / self.disk_bandwidth
+
+
+@dataclass
+class ClonosConfig:
+    """Clonos-specific knobs (Sections 4-6)."""
+
+    #: Determinant sharing depth; ``None`` means "full" (= graph depth).
+    determinant_sharing_depth: Optional[int] = None
+    #: Deploy passive standby tasks with state dispatch (high availability
+    #: mode); without them, local recovery deploys a fresh task instead.
+    standby_tasks: bool = True
+    #: In-flight log spill policy.
+    spill_policy: SpillPolicy = SpillPolicy.SPILL_THRESHOLD
+    #: In-flight log buffer-pool budget per task, bytes (paper uses 80 MB;
+    #: we scale with the rest of the simulation).
+    inflight_pool_bytes: int = 512 * 1024
+    #: Available-buffer fraction below which SPILL_THRESHOLD starts spilling.
+    spill_threshold_fraction: float = 0.25
+    #: Determinant buffer pool budget, bytes (paper: ~5 MB at DSD=1).
+    determinant_pool_bytes: int = 64 * 1024
+    #: Timestamp-service caching granularity (Section 4.2): timestamps are
+    #: refreshed at most once per this many seconds, cutting determinant
+    #: volume by ~100x.
+    timestamp_granularity: float = 1e-3
+    #: When more than DSD consecutive tasks fail: fall back to a global
+    #: rollback (consistency) or skip dedup (availability, at-least-once).
+    fallback_to_global: bool = True
+    #: Standby placement anti-affinity: never co-locate a standby with the
+    #: task it mirrors (Section 6.3).
+    standby_anti_affinity: bool = True
+
+
+@dataclass
+class JobConfig:
+    """Everything needed to run one streaming job in the simulation."""
+
+    mode: FaultToleranceMode = FaultToleranceMode.CLONOS
+    checkpoint_interval: float = 5.0
+    cost: CostModel = field(default_factory=CostModel)
+    clonos: ClonosConfig = field(default_factory=ClonosConfig)
+    #: Incremental checkpoints (Section 6.4): DFS writes are charged for the
+    #: state *delta* only, cutting snapshot and standby-dispatch cost.
+    incremental_checkpoints: bool = False
+    #: Root seed for all randomness (workloads, the external world...).
+    seed: int = 7
+    #: Low-watermark emission period at sources.
+    watermark_interval: float = 0.2
+    #: Allowed out-of-orderness (lateness bound) for event-time watermarks.
+    watermark_lateness: float = 0.5
+
+    def validate(self) -> None:
+        if self.checkpoint_interval <= 0:
+            raise JobError("checkpoint_interval must be positive")
+        dsd = self.clonos.determinant_sharing_depth
+        if dsd is not None and dsd < 0:
+            raise JobError("determinant sharing depth must be >= 0 or None (full)")
+        if self.cost.heartbeat_timeout < self.cost.heartbeat_interval:
+            raise JobError("heartbeat timeout must be >= interval")
+
+    def with_mode(self, mode: FaultToleranceMode, **clonos_overrides) -> "JobConfig":
+        """A copy of this config under a different fault-tolerance scheme."""
+        clonos = replace(self.clonos, **clonos_overrides) if clonos_overrides else self.clonos
+        return replace(self, mode=mode, clonos=clonos)
+
+    @property
+    def guarantee(self) -> Guarantee:
+        if (
+            self.mode is FaultToleranceMode.CLONOS
+            and self.clonos.determinant_sharing_depth == 0
+        ):
+            return Guarantee.AT_LEAST_ONCE
+        return Guarantee.of(self.mode)

@@ -1,0 +1,56 @@
+"""Clonos core: causal logging, in-flight logs, causal services, recovery."""
+
+from repro.core.causal_log import (
+    CausalLogManager,
+    EpochLog,
+    LogBundle,
+    merge_bundles,
+)
+from repro.core.determinants import (
+    BarrierInjectDeterminant,
+    BufferSizeDeterminant,
+    CustomDeterminant,
+    Determinant,
+    ExternalCallDeterminant,
+    OrderDeterminant,
+    RngSeedDeterminant,
+    TimerFiredDeterminant,
+    TimestampDeterminant,
+    WatermarkEmitDeterminant,
+)
+from repro.core.dsd import (
+    RecoveryCase,
+    classify_failed_task,
+    longest_failed_chain,
+    requires_global_rollback,
+)
+from repro.core.inflight_log import InFlightLog
+from repro.core.recovery import RecoveryManager
+from repro.core.services import CausalServices, NaiveServices
+from repro.core.standby import StandbyState
+
+__all__ = [
+    "BarrierInjectDeterminant",
+    "BufferSizeDeterminant",
+    "CausalLogManager",
+    "CausalServices",
+    "CustomDeterminant",
+    "Determinant",
+    "EpochLog",
+    "ExternalCallDeterminant",
+    "InFlightLog",
+    "LogBundle",
+    "NaiveServices",
+    "OrderDeterminant",
+    "RecoveryCase",
+    "RecoveryManager",
+    "RngSeedDeterminant",
+    "StandbyState",
+    "TimerFiredDeterminant",
+    "TimestampDeterminant",
+    "WatermarkEmitDeterminant",
+    "classify_failed_task",
+    "longest_failed_chain",
+    "merge_bundles",
+    "requires_global_rollback",
+]

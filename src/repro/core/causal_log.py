@@ -1,0 +1,305 @@
+"""The causal log (Section 4.3).
+
+Each task keeps a *bundle* of epoch-segmented determinant logs:
+
+* ``main`` — the main processing thread's determinants, and
+* ``queue:<c>`` — one buffer-size log per output channel (the network
+  threads' nondeterminism).
+
+Whenever a buffer is dispatched on a channel, a **delta** — all bundle
+entries the channel has not yet carried, plus (for determinant sharing
+depths > 1) the bundles of upstream tasks within DSD-1 hops — piggybacks on
+the buffer.  The receiver merges deltas into its *causal store* by epoch and
+index, which makes merging idempotent: replayed/duplicated deltas are
+harmless, the store simply keeps the longest prefix per epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.determinants import Determinant
+from repro.errors import DeterminantLogError
+
+MAIN = "main"
+
+
+def queue_log_name(channel_index: int) -> str:
+    return f"queue:{channel_index}"
+
+
+class EpochLog:
+    """An append-only determinant log segmented by checkpoint epoch.
+
+    Wire sizes are tracked incrementally (`bytes_held`) so the memory
+    experiments of Section 7.5 can sample determinant-pool usage cheaply.
+    """
+
+    def __init__(self):
+        self._epochs: Dict[int, List[Determinant]] = {}
+        self.bytes_held = 0
+
+    def append(self, epoch: int, determinant: Determinant) -> int:
+        """Append and return the entry's index within its epoch."""
+        entries = self._epochs.setdefault(epoch, [])
+        entries.append(determinant)
+        self.bytes_held += determinant.wire_size()
+        return len(entries) - 1
+
+    def entries(self, epoch: int) -> List[Determinant]:
+        return self._epochs.get(epoch, [])
+
+    def epochs(self) -> List[int]:
+        return sorted(self._epochs)
+
+    def length(self, epoch: int) -> int:
+        return len(self._epochs.get(epoch, ()))
+
+    def truncate_before(self, epoch: int) -> int:
+        """Drop epochs earlier than ``epoch`` (checkpoint complete)."""
+        stale = [e for e in self._epochs if e < epoch]
+        dropped = sum(len(self._epochs[e]) for e in stale)
+        for e in stale:
+            self.bytes_held -= sum(d.wire_size() for d in self._epochs[e])
+            del self._epochs[e]
+        return dropped
+
+    def merge_slice(self, epoch: int, base_index: int, entries: List[Determinant]) -> None:
+        """Idempotent merge of a delta slice: extend the epoch's entries with
+        whatever part of ``entries`` lies beyond what we already hold."""
+        stored = self._epochs.setdefault(epoch, [])
+        if base_index > len(stored):
+            raise DeterminantLogError(
+                f"delta gap: have {len(stored)} entries of epoch {epoch}, "
+                f"delta starts at {base_index}"
+            )
+        new_from = len(stored) - base_index
+        if new_from < len(entries):
+            fresh = entries[new_from:]
+            stored.extend(fresh)
+            self.bytes_held += sum(d.wire_size() for d in fresh)
+
+    def size_bytes(self) -> int:
+        return sum(
+            det.wire_size() for entries in self._epochs.values() for det in entries
+        )
+
+    def total_entries(self) -> int:
+        return sum(len(entries) for entries in self._epochs.values())
+
+
+class LogBundle:
+    """All of one task's logs: main thread + one per output channel."""
+
+    def __init__(self, num_output_channels: int = 0):
+        self.logs: Dict[str, EpochLog] = {MAIN: EpochLog()}
+        for c in range(num_output_channels):
+            self.logs[queue_log_name(c)] = EpochLog()
+
+    def log(self, name: str) -> EpochLog:
+        if name not in self.logs:
+            self.logs[name] = EpochLog()
+        return self.logs[name]
+
+    def truncate_before(self, epoch: int) -> int:
+        return sum(log.truncate_before(epoch) for log in self.logs.values())
+
+    def size_bytes(self) -> int:
+        return sum(log.size_bytes() for log in self.logs.values())
+
+    def total_entries(self) -> int:
+        return sum(log.total_entries() for log in self.logs.values())
+
+
+def merge_bundles(bundles: List[LogBundle]) -> LogBundle:
+    """Merge determinant bundles retrieved from several downstream holders:
+    per (log, epoch), keep the longest prefix (all holders saw consistent
+    prefixes because deltas travel FIFO with the data)."""
+    merged = LogBundle()
+    for bundle in bundles:
+        for name, log in bundle.logs.items():
+            target = merged.log(name)
+            for epoch in log.epochs():
+                if log.length(epoch) > target.length(epoch):
+                    target._epochs[epoch] = list(log.entries(epoch))
+    return merged
+
+
+#: One delta slice: (task_id, log_name, epoch, base_index, entries).
+DeltaSlice = Tuple[str, str, int, int, List[Determinant]]
+
+
+def delta_wire_size(slices: List[DeltaSlice]) -> int:
+    """Serialized size of a delta: per-slice header + determinant bytes."""
+    total = 0
+    for _task, _log, _epoch, _base, entries in slices:
+        total += 12 + sum(det.wire_size() for det in entries)
+    return total
+
+
+class CausalLogManager:
+    """Per-task causal logging state: own bundle, cursors, causal store.
+
+    ``dsd`` is the determinant sharing depth: a dispatched delta carries this
+    task's own bundle always, plus the stored bundles of upstream tasks whose
+    distance from this task is < dsd (so with dsd=1 only the task's own
+    determinants travel one hop; with dsd=2 the direct upstream's bundle is
+    forwarded one extra hop, etc.).  ``dsd=0`` disables causal logging
+    (Clonos' at-least-once configuration, Section 5.4).
+    """
+
+    def __init__(self, task_id: str, num_output_channels: int, dsd: Optional[int]):
+        self.task_id = task_id
+        self.dsd = dsd  # None = full
+        self.bundle = LogBundle(num_output_channels)
+        self.current_epoch = 0
+        #: causal store: upstream task_id -> (distance, LogBundle)
+        self.store: Dict[str, Tuple[int, LogBundle]] = {}
+        #: dispatch cursors: (channel, task_id, log_name, epoch) -> entries sent
+        self._cursors: Dict[Tuple[int, str, str, int], int] = {}
+        #: total determinant bytes shipped (for the memory/overhead metrics).
+        self.delta_bytes_sent = 0
+        #: epochs below this are truncated (checkpoint complete); late deltas
+        #: for them are obsolete and ignored.
+        self.truncated_before = 0
+        #: High-water mark of determinant bytes held (the determinant buffer
+        #: pool sizing question of Section 7.5).
+        self.peak_bytes_held = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.dsd is None or self.dsd > 0
+
+    # -- appending (normal operation) ----------------------------------------
+
+    def append_main(self, determinant: Determinant) -> None:
+        self.bundle.log(MAIN).append(self.current_epoch, determinant)
+
+    def append_queue(
+        self, channel_index: int, determinant: Determinant, epoch: Optional[int] = None
+    ) -> None:
+        self.bundle.log(queue_log_name(channel_index)).append(
+            self.current_epoch if epoch is None else epoch, determinant
+        )
+
+    # -- deltas ------------------------------------------------------------------
+
+    def _shareable_bundles(self) -> List[Tuple[str, int, LogBundle]]:
+        """Bundles to piggyback: own (distance 0) + stored ones with
+        distance < dsd - 1 ... i.e. whose *receiver* distance stays <= dsd."""
+        bundles: List[Tuple[str, int, LogBundle]] = [(self.task_id, 0, self.bundle)]
+        for task_id, (distance, bundle) in self.store.items():
+            limit = self.dsd if self.dsd is not None else None
+            # The receiver would hold this bundle at distance + 2 hops from
+            # its origin... origin -> us is (distance+1) hops; forwarding adds
+            # one more. Forward only if the origin's determinants are still
+            # within the sharing depth at the receiver.
+            if limit is None or distance + 2 <= limit:
+                bundles.append((task_id, distance, bundle))
+        return bundles
+
+    def delta_for_dispatch(self, channel_index: int) -> Tuple[List[DeltaSlice], int]:
+        """Collect everything channel ``channel_index`` has not carried yet."""
+        if not self.enabled:
+            return [], 0
+        slices: List[DeltaSlice] = []
+        for task_id, _distance, bundle in self._shareable_bundles():
+            for log_name, log in bundle.logs.items():
+                for epoch in log.epochs():
+                    key = (channel_index, task_id, log_name, epoch)
+                    sent = self._cursors.get(key, 0)
+                    entries = log.entries(epoch)
+                    if sent < len(entries):
+                        slices.append(
+                            (task_id, log_name, epoch, sent, list(entries[sent:]))
+                        )
+                        self._cursors[key] = len(entries)
+        nbytes = delta_wire_size(slices)
+        self.delta_bytes_sent += nbytes
+        return slices, nbytes
+
+    def merge_delta(self, slices: Iterable[DeltaSlice], sender_task_id: str) -> None:
+        """Receiver side: store the piggybacked determinants *before* the
+        buffer's records are processed (the always-no-orphans discipline)."""
+        for task_id, log_name, epoch, base_index, entries in slices:
+            if epoch < self.truncated_before:
+                # The checkpoint-complete RPC raced ahead of this delta: the
+                # epoch is already stable, its determinants are obsolete.
+                continue
+            if task_id == sender_task_id:
+                distance = 0
+            else:
+                prior = self.store.get(task_id)
+                distance = prior[0] if prior is not None else 1
+            if task_id not in self.store:
+                self.store[task_id] = (distance, LogBundle())
+            else:
+                # Keep the shortest observed distance.
+                old_distance, bundle = self.store[task_id]
+                self.store[task_id] = (min(old_distance, distance), bundle)
+            try:
+                self.store[task_id][1].log(log_name).merge_slice(
+                    epoch, base_index, entries
+                )
+            except DeterminantLogError as exc:
+                raise DeterminantLogError(
+                    f"{self.task_id}: merging delta of task={task_id} "
+                    f"log={log_name} from sender={sender_task_id}: {exc}"
+                ) from exc
+
+    def store_distance_fixup(self, sender_task_id: str) -> None:
+        """Record that ``sender_task_id`` is a direct upstream (distance 0)."""
+        if sender_task_id in self.store:
+            _d, bundle = self.store[sender_task_id]
+            self.store[sender_task_id] = (0, bundle)
+
+    # -- recovery support -----------------------------------------------------------
+
+    def stored_bundle_for(self, task_id: str) -> Optional[LogBundle]:
+        entry = self.store.get(task_id)
+        return entry[1] if entry is not None else None
+
+    def reset_channel_cursors(self, channel_index: int) -> None:
+        """A downstream task reconnected after recovery: its causal store may
+        be empty, so the next buffers on this channel must re-carry the full
+        log.  Receivers merge by index, so over-sending is idempotent."""
+        stale = [key for key in self._cursors if key[0] == channel_index]
+        for key in stale:
+            del self._cursors[key]
+
+    # -- epoch lifecycle ---------------------------------------------------------------
+
+    def on_barrier(self, checkpoint_id: int) -> None:
+        """Epoch boundary passed the main thread."""
+        self.current_epoch = checkpoint_id
+        self.note_peak()
+
+    def on_checkpoint_complete(self, checkpoint_id: int) -> int:
+        """Truncate everything older than the completed checkpoint."""
+        self.note_peak()  # the high-water mark: just before truncation
+        self.truncated_before = max(self.truncated_before, checkpoint_id)
+        dropped = self.bundle.truncate_before(checkpoint_id)
+        for _task_id, (_distance, bundle) in self.store.items():
+            dropped += bundle.truncate_before(checkpoint_id)
+        stale = [k for k in self._cursors if k[3] < checkpoint_id]
+        for k in stale:
+            del self._cursors[k]
+        return dropped
+
+    def size_bytes(self) -> int:
+        """Total determinant bytes held (own + stored)."""
+        return self.bundle.size_bytes() + sum(
+            bundle.size_bytes() for _d, bundle in self.store.values()
+        )
+
+    def bytes_held(self) -> int:
+        """Incrementally-tracked variant of :meth:`size_bytes` (O(logs))."""
+        total = sum(log.bytes_held for log in self.bundle.logs.values())
+        for _distance, bundle in self.store.values():
+            total += sum(log.bytes_held for log in bundle.logs.values())
+        return total
+
+    def note_peak(self) -> None:
+        current = self.bytes_held()
+        if current > self.peak_bytes_held:
+            self.peak_bytes_held = current

@@ -1,0 +1,128 @@
+"""Determinant sharing depth: the Figure 4 / Section 5.3 case analysis.
+
+Determinants of task *t* are replicated to tasks up to ``dsd`` hops
+downstream of *t* (``None`` = the full graph depth).  Given a set of failed
+tasks, recovery classifies each failed task:
+
+* ``WITH_DETERMINANTS`` — some surviving task within ``dsd`` hops downstream
+  holds *t*'s log: causally consistent replay (Log(e) ⊄ F).
+* ``FREE`` — every holder failed, but so did every task that could depend on
+  *t*'s events (Depend(e) ⊆ F): a fresh execution path is consistent.
+* ``ORPHANED`` — every holder failed while some surviving task depends on
+  *t*: local recovery is impossible; fall back to a global rollback
+  (the bottom-left leaf of Figure 4).
+
+This module is pure graph logic so the property-based tests can exercise
+the always-no-orphans condition exhaustively.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+
+class RecoveryCase(enum.Enum):
+    WITH_DETERMINANTS = "with-determinants"
+    FREE = "free"
+    ORPHANED = "orphaned"
+
+
+def downstream_within(
+    adjacency: Dict[str, List[str]], start: str, max_hops: Optional[int]
+) -> Set[str]:
+    """Tasks reachable from ``start`` in 1..max_hops hops (all if None)."""
+    reached: Set[str] = set()
+    frontier = [start]
+    hops = 0
+    while frontier and (max_hops is None or hops < max_hops):
+        hops += 1
+        next_frontier: List[str] = []
+        for task in frontier:
+            for succ in adjacency.get(task, ()):
+                if succ not in reached:
+                    reached.add(succ)
+                    next_frontier.append(succ)
+        frontier = next_frontier
+    return reached
+
+
+def transitive_downstream(adjacency: Dict[str, List[str]], start: str) -> Set[str]:
+    return downstream_within(adjacency, start, None)
+
+
+def classify_failed_task(
+    adjacency: Dict[str, List[str]],
+    failed: Iterable[str],
+    task: str,
+    dsd: Optional[int],
+) -> RecoveryCase:
+    """Which Figure-4 leaf applies to ``task`` given the failure set."""
+    failed_set = set(failed)
+    if task not in failed_set:
+        raise ValueError(f"{task!r} is not in the failure set")
+    if dsd == 0:
+        holders: Set[str] = set()
+    else:
+        holders = downstream_within(adjacency, task, dsd)
+    surviving_holders = holders - failed_set
+    if surviving_holders:
+        return RecoveryCase.WITH_DETERMINANTS
+    dependents = transitive_downstream(adjacency, task)
+    if dependents <= failed_set:
+        return RecoveryCase.FREE
+    return RecoveryCase.ORPHANED
+
+
+def requires_global_rollback(
+    adjacency: Dict[str, List[str]],
+    failed: Iterable[str],
+    dsd: Optional[int],
+) -> bool:
+    """True when any failed task is orphaned (Equation 3's escape hatch)."""
+    failed_list = list(failed)
+    return any(
+        classify_failed_task(adjacency, failed_list, task, dsd)
+        is RecoveryCase.ORPHANED
+        for task in failed_list
+    )
+
+
+def max_consecutive_failures_tolerated(
+    adjacency: Dict[str, List[str]], dsd: Optional[int], depth: int
+) -> Optional[int]:
+    """The f of Section 5.4: DSD bounds the longest chain of *consecutive*
+    (connected) concurrent failures recoverable without global rollback."""
+    if dsd is None:
+        return depth
+    return dsd
+
+
+def longest_failed_chain(
+    adjacency: Dict[str, List[str]], failed: Iterable[str]
+) -> int:
+    """Length of the longest directed path consisting solely of failed
+    tasks (the 'consecutive failures' the paper's f refers to)."""
+    failed_set = set(failed)
+    memo: Dict[str, int] = {}
+
+    def chain_from(task: str, visiting: FrozenSet[str]) -> int:
+        if task in memo:
+            return memo[task]
+        best = 1
+        for succ in adjacency.get(task, ()):
+            if succ in failed_set and succ not in visiting:
+                best = max(best, 1 + chain_from(succ, visiting | {task}))
+        memo[task] = best
+        return best
+
+    return max((chain_from(t, frozenset()) for t in failed_set), default=0)
+
+
+def holders_of(
+    adjacency: Dict[str, List[str]], task: str, dsd: Optional[int]
+) -> Set[str]:
+    """Which tasks hold ``task``'s determinant bundle (Log(e))."""
+    if dsd == 0:
+        return set()
+    return downstream_within(adjacency, task, dsd)

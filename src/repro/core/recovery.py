@@ -1,0 +1,155 @@
+"""The per-task recovery manager: determinant-driven replay (Section 5).
+
+When a task recovers, it is handed the determinant bundle its predecessor
+replicated downstream.  The manager splits it into:
+
+* a **control sequence** (order / timer / barrier-injection / watermark /
+  rpc determinants) that drives the main loop: which channel to consume
+  next, when a timer interleaved, where the source cut epochs; and
+* **value queues** per service kind (timestamp / http / custom / rng), from
+  which the causal services answer calls during replay; and
+* the **output-queue logs**, which pre-load each output channel's forced
+  buffer cuts so the network threads rebuild byte-identical buffers
+  (Section 5.2, concurrent dedup).
+
+When every determinant is consumed the manager flips to inactive and the
+task continues in normal operation — seamlessly, mid-stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.core.causal_log import MAIN, LogBundle, queue_log_name
+from repro.core.determinants import (
+    BarrierInjectDeterminant,
+    BufferSizeDeterminant,
+    CustomDeterminant,
+    Determinant,
+    ExternalCallDeterminant,
+    OrderDeterminant,
+    RngSeedDeterminant,
+    RpcDeterminant,
+    TimerFiredDeterminant,
+    TimestampDeterminant,
+    WatermarkEmitDeterminant,
+)
+from repro.errors import DeterminantLogError
+
+_CONTROL_KINDS = ("order", "timer", "barrier", "watermark", "rpc")
+_VALUE_KINDS = ("timestamp", "http", "custom", "rng")
+
+
+class RecoveryManager:
+    """Replays a determinant bundle; inert once (or if never) exhausted."""
+
+    def __init__(self, task_name: str):
+        self.task_name = task_name
+        self._control: Deque[Determinant] = deque()
+        self._values: Dict[str, Deque[Determinant]] = {
+            kind: deque() for kind in _VALUE_KINDS
+        }
+        self._queue_logs: Dict[int, List[BufferSizeDeterminant]] = {}
+        self._active = False
+        #: Statistics for the experiments.
+        self.replayed_control = 0
+        self.replayed_values = 0
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def load(self, bundle: LogBundle, from_epoch: int) -> None:
+        """Ingest the retrieved bundle, keeping only epochs >= ``from_epoch``
+        (earlier epochs are covered by the restored checkpoint)."""
+        main = bundle.log(MAIN)
+        for epoch in main.epochs():
+            if epoch < from_epoch:
+                continue
+            for det in main.entries(epoch):
+                if det.kind in _VALUE_KINDS:
+                    self._values[det.kind].append(det)
+                elif det.kind in _CONTROL_KINDS:
+                    self._control.append(det)
+                else:
+                    raise DeterminantLogError(f"unknown determinant kind {det.kind!r}")
+        for name, log in bundle.logs.items():
+            if name == MAIN:
+                continue
+            channel = int(name.split(":", 1)[1])
+            cuts: List[BufferSizeDeterminant] = []
+            for epoch in log.epochs():
+                if epoch < from_epoch:
+                    continue
+                cuts.extend(log.entries(epoch))
+            self._queue_logs[channel] = cuts
+        self._active = bool(
+            self._control
+            or any(self._values[k] for k in _VALUE_KINDS)
+            or any(self._queue_logs.values())
+        )
+
+    # -- control-flow replay ----------------------------------------------------
+
+    def peek_control(self) -> Optional[Determinant]:
+        return self._control[0] if self._control else None
+
+    def pop_control(self) -> Determinant:
+        if not self._control:
+            raise DeterminantLogError("control determinant log exhausted")
+        self.replayed_control += 1
+        det = self._control.popleft()
+        self._maybe_finish()
+        return det
+
+    # -- value replay ---------------------------------------------------------------
+
+    def pop_value(self, kind: str, match: Optional[str] = None) -> Determinant:
+        queue = self._values[kind]
+        if not queue:
+            raise DeterminantLogError(
+                f"{self.task_name}: {kind} determinants exhausted during replay"
+            )
+        det = queue.popleft()
+        if match is not None:
+            actual = det.key if isinstance(det, ExternalCallDeterminant) else getattr(det, "name", None)
+            if actual != match:
+                raise DeterminantLogError(
+                    f"{self.task_name}: replay divergence — expected {kind} "
+                    f"determinant for {match!r}, log has {actual!r}"
+                )
+        self.replayed_values += 1
+        self._maybe_finish()
+        return det
+
+    def has_value(self, kind: str) -> bool:
+        return bool(self._values[kind])
+
+    # -- output-queue logs -------------------------------------------------------------
+
+    def forced_cuts_for_channel(self, channel: int) -> List[int]:
+        return [det.num_elements for det in self._queue_logs.get(channel, [])]
+
+    def first_replayed_seq(self, channel: int) -> Optional[int]:
+        cuts = self._queue_logs.get(channel)
+        return cuts[0].seq if cuts else None
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def begin(self) -> None:
+        self._active = True
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self._active and not self._control and not any(
+            self._values[k] for k in _VALUE_KINDS
+        ):
+            self._active = False
+
+    def force_finish(self) -> None:
+        """Give up on remaining determinants (divergent / at-least-once)."""
+        self._control.clear()
+        for queue in self._values.values():
+            queue.clear()
+        self._active = False

@@ -1,0 +1,183 @@
+"""Causal services (Section 4.2): the programming abstraction that hides
+causal logging and replay from UDF authors and system programmers.
+
+Two implementations of :class:`repro.operators.base.Services`:
+
+* :class:`NaiveServices` — what the baselines use.  Every call observes the
+  real (simulated) world: the wall clock, a time-seeded RNG, the drifting
+  external service.  Re-executing after a failure therefore yields
+  *different* answers — the divergence Clonos exists to mask.
+* :class:`CausalServices` — Clonos.  Under normal operation each call
+  produces its nondeterministic result *and appends a determinant* to the
+  causal log; during recovery the same call returns the logged result
+  instead (Listing 3's two-branch ``apply``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.core.causal_log import CausalLogManager
+from repro.core.determinants import (
+    CustomDeterminant,
+    ExternalCallDeterminant,
+    RngSeedDeterminant,
+    TimestampDeterminant,
+)
+from repro.core.recovery import RecoveryManager
+from repro.external.http import ExternalService
+from repro.operators.base import Services
+from repro.sim.core import Environment
+from repro.sim.rng import derive_seed
+
+
+class NaiveServices(Services):
+    """Baseline services: honest nondeterminism, nothing logged.
+
+    The RNG is seeded from the wall-clock instant the task (re)started —
+    the classic "initialized using the current time" pattern (Section 4.1) —
+    so a restarted task draws a different sequence.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        external: Optional[ExternalService],
+        task_name: str,
+        root_seed: int = 0,
+    ):
+        self.env = env
+        self.external = external
+        self._rng = random.Random(
+            derive_seed(root_seed, f"{task_name}@{env.now:.9f}")
+        )
+
+    def timestamp(self) -> float:
+        return self.env.now
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def http_get(self, key: str):
+        if self.external is None:
+            raise RuntimeError("no external service configured")
+        response = yield from self.external.get(key)
+        return response
+
+    def custom(self, name: str, fn: Callable[[Any], Any], argument: Any) -> Any:
+        return fn(argument)
+
+
+class CausalServices(Services):
+    """Clonos services: log on the way in, replay on the way out."""
+
+    def __init__(
+        self,
+        env: Environment,
+        causal: CausalLogManager,
+        recovery: RecoveryManager,
+        external: Optional[ExternalService],
+        task_name: str,
+        root_seed: int = 0,
+        timestamp_granularity: float = 1e-3,
+    ):
+        self.env = env
+        self.causal = causal
+        self.recovery = recovery
+        self.external = external
+        self.task_name = task_name
+        self.root_seed = root_seed
+        self.granularity = timestamp_granularity
+        self._cached_ts: Optional[float] = None
+        self._rng = random.Random(derive_seed(root_seed, f"{task_name}:rng:0"))
+        #: Calls answered from the log (for assertions in tests).
+        self.replayed_calls = 0
+        #: Section 5.4 availability mode: when replay runs out of (or
+        #: disagrees with) determinants, fall back to live values instead of
+        #: failing — degrading to at-least-once.
+        self.availability_mode = False
+
+    # -- timestamp ---------------------------------------------------------------
+
+    def _pop_or_degrade(self, kind: str, match=None):
+        """Pop a replay determinant; in availability mode an exhausted or
+        mismatching log degrades to live execution instead of failing."""
+        from repro.errors import DeterminantLogError
+
+        try:
+            return self.recovery.pop_value(kind, match=match)
+        except DeterminantLogError:
+            if not self.availability_mode:
+                raise
+            self.recovery.force_finish()
+            return None
+
+    def timestamp(self) -> float:
+        if self.recovery.active:
+            det = self._pop_or_degrade("timestamp")
+            if det is not None:
+                self.replayed_calls += 1
+                self._cached_ts = det.value
+                # Rebuild the log so this task can serve future failures.
+                self.causal.append_main(det)
+                return det.value
+        now = self.env.now
+        if self._cached_ts is not None and now - self._cached_ts < self.granularity:
+            value, fresh = self._cached_ts, False
+        else:
+            value, fresh = now, True
+            self._cached_ts = now
+        self.causal.append_main(TimestampDeterminant(value, fresh))
+        return value
+
+    # -- random numbers ---------------------------------------------------------------
+
+    def random(self) -> float:
+        # Draws consume no determinants: the per-epoch seed determinant makes
+        # the whole sequence reproducible (Section 4.2, Random Numbers).
+        return self._rng.random()
+
+    def reseed_for_epoch(self, epoch: int) -> None:
+        """Called at each epoch boundary under normal operation."""
+        seed = derive_seed(self.root_seed, f"{self.task_name}:rng:{epoch}")
+        self.causal.append_main(RngSeedDeterminant(seed))
+        self._rng.seed(seed)
+
+    def replay_reseed(self) -> None:
+        """Called during recovery wherever a seed determinant is due."""
+        det = self._pop_or_degrade("rng")
+        if det is None:
+            self.reseed_for_epoch(self.causal.current_epoch)
+            return
+        self.replayed_calls += 1
+        self.causal.append_main(det)
+        self._rng.seed(det.seed)
+
+    # -- external calls ------------------------------------------------------------------
+
+    def http_get(self, key: str):
+        if self.recovery.active:
+            det = self._pop_or_degrade("http", match=key)
+            if det is not None:
+                self.replayed_calls += 1
+                self.causal.append_main(det)
+                return det.response
+        if self.external is None:
+            raise RuntimeError("no external service configured")
+        response = yield from self.external.get(key)
+        self.causal.append_main(ExternalCallDeterminant(key, response))
+        return response
+
+    # -- custom user services (Listings 2 & 3) ----------------------------------------------
+
+    def custom(self, name: str, fn: Callable[[Any], Any], argument: Any) -> Any:
+        if self.recovery.active:
+            det = self._pop_or_degrade("custom", match=name)
+            if det is not None:
+                self.replayed_calls += 1
+                self.causal.append_main(det)
+                return det.result
+        result = fn(argument)
+        self.causal.append_main(CustomDeterminant(name, result))
+        return result

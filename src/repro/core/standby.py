@@ -1,0 +1,58 @@
+"""Standby tasks and state-snapshot dispatch (Sections 2.1, 6.3, 6.4).
+
+A standby mirrors a running task: same logic, same placement constraints
+machinery, but idle.  After every completed checkpoint the job manager
+dispatches the running task's snapshot to its standby; activation waits for
+any in-flight transfer, so a standby is never more than one checkpoint
+behind.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import CostModel
+from repro.errors import RecoveryError
+from repro.sim.core import Environment
+from repro.state.snapshot import TaskSnapshot
+
+
+class StandbyState:
+    """The standby side of one task: last received snapshot + transfer state."""
+
+    def __init__(self, env: Environment, cost: CostModel, task_name: str, node_id: int):
+        self.env = env
+        self.cost = cost
+        self.task_name = task_name
+        #: Cluster node hosting the standby (anti-affinity decided at
+        #: placement time, Section 6.3).
+        self.node_id = node_id
+        self.snapshot: Optional[TaskSnapshot] = None
+        self._transfer_done = None  # event while a dispatch is in flight
+        self.transfers_received = 0
+
+    def dispatch(self, snapshot: TaskSnapshot):
+        """Generator: ship ``snapshot`` to the standby over the network.
+
+        Bound by checkpoint frequency in practice (Section 6.4): the caller
+        (checkpoint coordinator) never overlaps two dispatches for one task.
+        """
+        self._transfer_done = self.env.event()
+        try:
+            yield self.env.timeout(self.cost.transmission_time(snapshot.size_bytes))
+            self.snapshot = snapshot
+            self.transfers_received += 1
+        finally:
+            done, self._transfer_done = self._transfer_done, None
+            done.succeed()
+
+    def wait_ready(self):
+        """Generator: if a transfer is in flight, wait for it (Section 6.4:
+        activation waits for the transfer to complete)."""
+        if self._transfer_done is not None:
+            yield self._transfer_done
+        return self.snapshot
+
+    @property
+    def checkpoint_id(self) -> Optional[int]:
+        return self.snapshot.checkpoint_id if self.snapshot is not None else None

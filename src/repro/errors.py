@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class NetworkError(ReproError):
+    """A network-layer invariant was violated (e.g. non-FIFO delivery)."""
+
+
+class StateError(ReproError):
+    """State backend misuse (unknown descriptor, missing key context)."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint could not be taken, acknowledged, or restored."""
+
+class JobError(ReproError):
+    """Invalid job graph or job-level runtime failure."""
+
+
+class RecoveryError(ReproError):
+    """The recovery protocol could not complete."""
+
+
+class OrphanStateError(RecoveryError):
+    """A surviving task depends on a nondeterministic event whose determinant
+    was lost with the failed tasks; local recovery is impossible and the job
+    must fall back to a global rollback (Figure 4, bottom-left leaf)."""
+
+
+class DeterminantLogError(RecoveryError):
+    """The determinant log is malformed or diverges from re-execution."""
+
+
+class ExternalSystemError(ReproError):
+    """Simulated external system (Kafka/DFS/HTTP) rejected an operation."""

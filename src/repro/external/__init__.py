@@ -1,0 +1,13 @@
+"""Simulated external systems: Kafka-like logs, DFS, external services."""
+
+from repro.external.dfs import DistributedFileSystem
+from repro.external.http import ExternalService, TransactionalSinkService
+from repro.external.kafka import DurableLog, TopicPartition
+
+__all__ = [
+    "DistributedFileSystem",
+    "DurableLog",
+    "ExternalService",
+    "TopicPartition",
+    "TransactionalSinkService",
+]

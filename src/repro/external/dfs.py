@@ -1,0 +1,61 @@
+"""Simulated distributed file system (HDFS stand-in).
+
+Checkpoints and state-snapshot dispatch go through here; operations charge
+simulated time proportional to size with a shared-bandwidth approximation
+(concurrent writers halve each other's throughput via a token resource).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import CostModel
+from repro.errors import ExternalSystemError
+from repro.sim.core import Environment
+from repro.sim.queues import Resource
+
+
+class DistributedFileSystem:
+    """A name-addressed blob store with simulated I/O costs."""
+
+    def __init__(self, env: Environment, cost: CostModel, write_slots: int = 6):
+        self.env = env
+        self.cost = cost
+        self._blobs: Dict[str, int] = {}
+        #: Concurrency limit on the datanode write path; contention under a
+        #: global restart (all tasks restoring at once) is what makes Flink's
+        #: recovery slow at scale.
+        self._io_slots = Resource(env, write_slots)
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def write(self, path: str, size_bytes: int):
+        """Generator: persist ``size_bytes`` under ``path``."""
+        if size_bytes < 0:
+            raise ExternalSystemError("negative write size")
+        yield self._io_slots.acquire()
+        try:
+            yield self.env.timeout(self.cost.dfs_write_time(size_bytes))
+            self._blobs[path] = size_bytes
+            self.bytes_written += size_bytes
+        finally:
+            self._io_slots.release()
+
+    def read(self, path: str, size_bytes: int = None):
+        """Generator: read a blob back (size defaults to what was written)."""
+        if path not in self._blobs:
+            raise ExternalSystemError(f"no blob at {path!r}")
+        nbytes = self._blobs[path] if size_bytes is None else size_bytes
+        yield self._io_slots.acquire()
+        try:
+            yield self.env.timeout(self.cost.dfs_read_time(nbytes))
+            self.bytes_read += nbytes
+        finally:
+            self._io_slots.release()
+        return nbytes
+
+    def exists(self, path: str) -> bool:
+        return path in self._blobs
+
+    def delete(self, path: str) -> None:
+        self._blobs.pop(path, None)

@@ -1,0 +1,81 @@
+"""A simulated external service with *time-varying* answers.
+
+This is the honest stand-in for "a call to an external database that queries
+the current stock price" (Section 4.1): the response depends on the
+simulated wall-clock time of the call, so re-executing the same UDF call
+after a failure returns a *different* answer — unless Clonos' HTTP causal
+service replays the logged response.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+
+
+class ExternalService:
+    """A key-value HTTP-ish service whose values drift over time."""
+
+    def __init__(
+        self,
+        env: Environment,
+        streams: RandomStreams,
+        name: str = "svc",
+        latency: float = 1e-3,
+        drift_period: float = 0.05,
+    ):
+        self.env = env
+        self.name = name
+        self.latency = latency
+        self.drift_period = drift_period
+        self._rng = streams.stream(f"external-service:{name}")
+        self._base: Dict[str, float] = {}
+        self.calls = 0
+
+    def _value_at(self, key: str, now: float) -> float:
+        """Deterministic function of (key, time bucket): reproducible for
+        tests, yet different when queried at a different time."""
+        if key not in self._base:
+            self._base[key] = 100.0 + self._rng.random() * 50.0
+        bucket = int(now / self.drift_period)
+        wobble = ((hash((key, bucket)) % 1000) / 1000.0 - 0.5) * 10.0
+        return round(self._base[key] + wobble, 4)
+
+    def get(self, key: str):
+        """Generator: performs the call, charging network latency; returns
+        the response value."""
+        yield self.env.timeout(self.latency)
+        self.calls += 1
+        return self._value_at(key, self.env.now)
+
+    def get_now(self, key: str) -> float:
+        """Zero-latency variant for tests."""
+        self.calls += 1
+        return self._value_at(key, self.env.now)
+
+
+class TransactionalSinkService:
+    """External system for the exactly-once-output extension (Section 5.5).
+
+    Stores records *and* the piggybacked determinants; on request it returns
+    the stored determinants so a recovering sink can deduplicate without a
+    two-phase commit.
+    """
+
+    def __init__(self):
+        self.records: list = []
+        self.determinants: Dict[int, list] = {}
+
+    def append(self, epoch: int, value: Any, determinant: Any = None) -> None:
+        self.records.append(value)
+        if determinant is not None:
+            self.determinants.setdefault(epoch, []).append(determinant)
+
+    def determinants_for(self, epoch: int) -> list:
+        return list(self.determinants.get(epoch, []))
+
+    def truncate_before(self, epoch: int) -> None:
+        for old in [e for e in self.determinants if e < epoch]:
+            del self.determinants[old]

@@ -1,0 +1,179 @@
+"""Simulated Kafka: durable, partitioned, offset-addressable logs.
+
+Sources read from topics (and can re-read from any offset — the lineage
+anchor of Section 5.1); sinks append to topics.  The metrics layer samples
+output topics for throughput and latency exactly as the paper's harness
+samples its Kafka cluster (Section 7.1).
+
+Two partition flavours exist:
+
+* :class:`TopicPartition` — materialised entries (sink topics, small test
+  inputs).
+* :class:`GeneratedTopicPartition` — entries computed on demand from a
+  deterministic generator function with a configured arrival rate, so an
+  unbounded input stream costs O(1) memory yet is perfectly replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExternalSystemError
+
+
+class TopicPartition:
+    """One partition: an append-only list of (append_time, value) entries."""
+
+    def __init__(self, topic: str, partition: int):
+        self.topic = topic
+        self.partition = partition
+        self.entries: List[Tuple[float, Any]] = []
+
+    def append(self, now: float, value: Any) -> int:
+        self.entries.append((now, value))
+        return len(self.entries) - 1
+
+    def read(
+        self, offset: int, max_count: int, now: float = float("inf")
+    ) -> List[Tuple[int, float, Any]]:
+        """Entries from ``offset`` whose arrival time is <= ``now``."""
+        out = []
+        for off in range(offset, min(offset + max_count, len(self.entries))):
+            when, value = self.entries[off]
+            if when > now:
+                break
+            out.append((off, when, value))
+        return out
+
+    def end_offset(self, now: float = float("inf")) -> int:
+        if now == float("inf"):
+            return len(self.entries)
+        count = 0
+        for when, _value in self.entries:
+            if when > now:
+                break
+            count += 1
+        return count
+
+    def next_arrival_after(self, offset: int) -> Optional[float]:
+        """Arrival time of the entry at ``offset``, or None if beyond end."""
+        if offset < len(self.entries):
+            return self.entries[offset][0]
+        return None
+
+    @property
+    def total_offset(self) -> Optional[int]:
+        return len(self.entries)
+
+
+class GeneratedTopicPartition(TopicPartition):
+    """A partition whose entries are computed, not stored.
+
+    ``gen_fn(partition, offset) -> value`` must be deterministic; the entry
+    at ``offset`` arrives at ``offset / rate`` seconds.
+    """
+
+    def __init__(
+        self,
+        topic: str,
+        partition: int,
+        gen_fn: Callable[[int, int], Any],
+        rate: float,
+        total: Optional[int] = None,
+    ):
+        super().__init__(topic, partition)
+        if rate <= 0:
+            raise ExternalSystemError("generated partition needs a positive rate")
+        self.gen_fn = gen_fn
+        self.rate = rate
+        self.total = total
+
+    def append(self, now: float, value: Any) -> int:
+        raise ExternalSystemError("cannot append to a generated partition")
+
+    def _arrival(self, offset: int) -> float:
+        return offset / self.rate
+
+    def read(
+        self, offset: int, max_count: int, now: float = float("inf")
+    ) -> List[Tuple[int, float, Any]]:
+        end = self.end_offset(now)
+        out = []
+        for off in range(offset, min(offset + max_count, end)):
+            out.append((off, self._arrival(off), self.gen_fn(self.partition, off)))
+        return out
+
+    def end_offset(self, now: float = float("inf")) -> int:
+        if now == float("inf"):
+            return self.total if self.total is not None else 0
+        available = int(now * self.rate) + 1
+        if self.total is not None:
+            available = min(available, self.total)
+        return available
+
+    def next_arrival_after(self, offset: int) -> Optional[float]:
+        if self.total is not None and offset >= self.total:
+            return None
+        return self._arrival(offset)
+
+    @property
+    def total_offset(self) -> Optional[int]:
+        return self.total
+
+
+class DurableLog:
+    """A broker holding all topics (a 3-node Kafka cluster stand-in)."""
+
+    def __init__(self):
+        self._partitions: Dict[Tuple[str, int], TopicPartition] = {}
+
+    def create_topic(self, topic: str, partitions: int = 1) -> None:
+        if partitions < 1:
+            raise ExternalSystemError("topic needs at least one partition")
+        for p in range(partitions):
+            self._partitions.setdefault((topic, p), TopicPartition(topic, p))
+
+    def create_generated_topic(
+        self,
+        topic: str,
+        partitions: int,
+        gen_fn: Callable[[int, int], Any],
+        rate_per_partition: float,
+        total_per_partition: Optional[int] = None,
+    ) -> None:
+        """An unbounded (or bounded) input topic backed by a generator."""
+        for p in range(partitions):
+            self._partitions[(topic, p)] = GeneratedTopicPartition(
+                topic, p, gen_fn, rate_per_partition, total_per_partition
+            )
+
+    def partition(self, topic: str, partition: int = 0) -> TopicPartition:
+        key = (topic, partition)
+        if key not in self._partitions:
+            raise ExternalSystemError(f"unknown topic partition {key}")
+        return self._partitions[key]
+
+    def partitions_of(self, topic: str) -> List[TopicPartition]:
+        parts = [tp for (t, _p), tp in sorted(self._partitions.items()) if t == topic]
+        if not parts:
+            raise ExternalSystemError(f"unknown topic {topic!r}")
+        return parts
+
+    def append(self, topic: str, partition: int, now: float, value: Any) -> int:
+        return self.partition(topic, partition).append(now, value)
+
+    def topic_size(self, topic: str) -> int:
+        return sum(len(tp.entries) for tp in self.partitions_of(topic))
+
+    def read_all(self, topic: str) -> List[Any]:
+        """All values across partitions, in per-partition order."""
+        out: List[Any] = []
+        for tp in self.partitions_of(topic):
+            out.extend(value for (_when, value) in tp.entries)
+        return out
+
+    def read_all_with_times(self, topic: str) -> List[Tuple[float, Any]]:
+        out: List[Tuple[float, Any]] = []
+        for tp in self.partitions_of(topic):
+            out.extend(tp.entries)
+        return out

@@ -1,0 +1,17 @@
+"""Fault-tolerance scheme coordinators (Clonos + the baselines)."""
+
+from repro.ft.coordinators import (
+    ClonosCoordinator,
+    GapRecoveryCoordinator,
+    GlobalRollbackCoordinator,
+    LocalReplayCoordinator,
+    make_coordinator,
+)
+
+__all__ = [
+    "ClonosCoordinator",
+    "GapRecoveryCoordinator",
+    "GlobalRollbackCoordinator",
+    "LocalReplayCoordinator",
+    "make_coordinator",
+]

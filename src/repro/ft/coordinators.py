@@ -1,0 +1,326 @@
+"""Recovery coordinators: one per fault-tolerance scheme.
+
+The job manager delegates detected failures here.  Each coordinator
+implements a published recovery strategy:
+
+* :class:`GlobalRollbackCoordinator` — vanilla Flink (Section 3.2): cancel
+  the whole graph, restart every task from the last completed checkpoint.
+* :class:`ClonosCoordinator` — the paper's protocol (Section 2.2): activate
+  a standby, reconfigure the network, retrieve the determinant log from
+  downstream, request in-flight replay from upstream, replay with causal
+  consistency, deduplicate at the sender.  Falls back to a global rollback
+  when the Figure-4 analysis finds an orphan (DSD exceeded).
+* :class:`LocalReplayCoordinator` — SEEP/at-least-once style local recovery
+  (upstream backup without determinants); with ``seep_dedup`` it adds
+  receiver-side count-based deduplication (correct only for deterministic
+  operators — Table 1).
+* :class:`GapRecoveryCoordinator` — at-most-once gap recovery (Section 5.4):
+  restart the failed task from its checkpoint and *skip* lost input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import FaultToleranceMode
+from repro.core.causal_log import merge_bundles
+from repro.core.dsd import RecoveryCase, classify_failed_task, downstream_within
+from repro.errors import JobError, RecoveryError
+from repro.operators.source import KafkaSource
+from repro.runtime.task import TaskStatus
+
+
+def make_coordinator(jm):
+    mode = jm.config.mode
+    if mode is FaultToleranceMode.GLOBAL_ROLLBACK:
+        return GlobalRollbackCoordinator(jm)
+    if mode is FaultToleranceMode.CLONOS:
+        return ClonosCoordinator(jm)
+    if mode in (FaultToleranceMode.DIVERGENT, FaultToleranceMode.SEEP):
+        return LocalReplayCoordinator(jm, seep_dedup=mode is FaultToleranceMode.SEEP)
+    if mode is FaultToleranceMode.GAP_RECOVERY:
+        return GapRecoveryCoordinator(jm)
+    if mode is FaultToleranceMode.NONE:
+        return NoRecoveryCoordinator(jm)
+    raise JobError(f"no coordinator for mode {mode}")
+
+
+class BaseCoordinator:
+    def __init__(self, jm):
+        self.jm = jm
+        self.env = jm.env
+        self.cost = jm.config.cost
+
+    def on_failure_detected(self, task_name: str) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------------------
+
+    def _obtain_snapshot(self, vertex):
+        """Generator: standby activation (fast path) or fresh deployment +
+        checkpoint restore from the DFS (slow path).  Returns the snapshot
+        (or None when no checkpoint completed yet)."""
+        standby = vertex.standby
+        if standby is not None and standby.snapshot is not None:
+            yield self.env.timeout(self.cost.standby_activation_time)
+            snapshot = yield from standby.wait_ready()
+            self.jm.cluster.allocate(vertex.name)
+            return snapshot
+        yield self.env.timeout(self.cost.task_deploy_time)
+        self.jm.cluster.allocate(vertex.name)
+        cid = self.jm.completed_checkpoint
+        if cid <= 0 or self.jm.snapshot_store.get(vertex.name, cid) is None:
+            return None
+        snapshot = yield from self.jm.snapshot_store.load(vertex.name, cid)
+        return snapshot
+
+    def _rebuild_task(self, vertex, snapshot):
+        """Construct the replacement and perform the network reconfiguration
+        handshake (Section 6.2): fresh input channels attach to the existing
+        links; surviving receivers report their delivered sequence numbers
+        for sender-side dedup."""
+        task = self.jm._build_task(vertex)
+        vertex.task = task
+        for _edge, channels in vertex.out_links:
+            for flat_idx, _down, link in channels:
+                channel = task.output_channel_by_flat_index(flat_idx)
+                receiver = link.receiver
+                if receiver is not None:
+                    channel.suppress_until_seq = receiver.delivered_seq
+        return task
+
+    def _request_replays(self, vertex, from_epoch: int) -> None:
+        """Step 4: ask upstream tasks to replay their in-flight logs."""
+        for _in_flat, _input_index, upstream_name, _link, up_flat in vertex.in_links:
+            upstream = self.jm.vertices[upstream_name].task
+            if upstream is None or upstream.status is TaskStatus.FAILED:
+                continue  # its own recovery will regenerate and send
+            receiver_channel = vertex.task.gate.channels[_in_flat]
+            upstream.control.send(
+                "replay_request",
+                {
+                    "flat_channel": up_flat,
+                    "from_epoch": from_epoch,
+                    "delivered_seq": receiver_channel.delivered_seq,
+                    "requester": vertex.name,
+                },
+                sender=vertex.name,
+            )
+
+
+class NoRecoveryCoordinator(BaseCoordinator):
+    def on_failure_detected(self, task_name: str) -> None:
+        raise RecoveryError(f"task {task_name} failed and mode=NONE")
+
+
+class GlobalRollbackCoordinator(BaseCoordinator):
+    """Tear everything down, restore the latest global checkpoint."""
+
+    def __init__(self, jm):
+        super().__init__(jm)
+        self._restarting = False
+        self.global_restarts = 0
+
+    def on_failure_detected(self, task_name: str) -> None:
+        if self._restarting:
+            return  # the ongoing restart covers this failure too
+        self._restarting = True
+        self.env.process(self._restart_job(), name="global-restart")
+
+    def _restart_job(self):
+        jm = self.jm
+        jm.abort_pending_checkpoint()
+        self.global_restarts += 1
+        jm.recovery_events.append((self.env.now, "global-restart-begin", "*"))
+        # Cancel every surviving task (they stop processing immediately).
+        for vertex in jm.vertices.values():
+            task = vertex.task
+            if task is not None and task.status is TaskStatus.RUNNING:
+                task.fail()
+                jm.cluster.release(vertex.name)
+        yield self.env.timeout(self.cost.task_cancel_time)
+        cid = jm.completed_checkpoint
+        procs = [
+            self.env.process(self._restart_one(vertex, cid), name=f"restart:{vertex.name}")
+            for vertex in jm.vertices.values()
+        ]
+        yield self.env.all_of(procs)
+        jm.dead_tasks.clear()
+        self._restarting = False
+        jm.recovery_events.append((self.env.now, "global-restart-done", "*"))
+
+    def _restart_one(self, vertex, checkpoint_id: int):
+        yield self.env.timeout(self.cost.task_deploy_time)
+        self.jm.cluster.allocate(vertex.name)
+        snapshot = None
+        if checkpoint_id > 0 and self.jm.snapshot_store.get(vertex.name, checkpoint_id):
+            snapshot = yield from self.jm.snapshot_store.load(vertex.name, checkpoint_id)
+        task = self.jm._build_task(vertex)
+        vertex.task = task
+        task.start(snapshot)
+
+
+class ClonosCoordinator(BaseCoordinator):
+    """The six-step protocol of Section 2.2, per failed task."""
+
+    def __init__(self, jm):
+        super().__init__(jm)
+        self.fallbacks_to_global = 0
+        self._fallback = GlobalRollbackCoordinator(jm)
+
+    def on_failure_detected(self, task_name: str) -> None:
+        if self._fallback._restarting:
+            return
+        vertex = self.jm.vertices[task_name]
+        dsd = self.jm.config.clonos.determinant_sharing_depth
+        case = classify_failed_task(
+            self.jm.adjacency, set(self.jm.dead_tasks), task_name, dsd
+        )
+        if case is RecoveryCase.ORPHANED:
+            if self.jm.config.clonos.fallback_to_global:
+                # Figure 4, DSD < D, orphaned leaf: trigger a global rollback
+                # (favour consistency, Section 5.4).
+                self.fallbacks_to_global += 1
+                self.jm.recovery_events.append(
+                    (self.env.now, "orphan-fallback", task_name)
+                )
+                self._fallback.on_failure_detected(task_name)
+                return
+            # Favour availability: recover locally WITHOUT determinants,
+            # skipping deduplication — at-least-once (Section 5.4).
+            self.jm.recovery_events.append(
+                (self.env.now, "orphan-skip-dedup", task_name)
+            )
+        self.jm.recovering_tasks.add(task_name)
+        self.env.process(
+            self._recover_locally(vertex, case), name=f"recover:{task_name}"
+        )
+
+    def _recover_locally(self, vertex, case: RecoveryCase):
+        jm = self.jm
+        # Step 1: activate standby / start replacement.
+        snapshot = yield from self._obtain_snapshot(vertex)
+        restore_epoch = snapshot.checkpoint_id if snapshot is not None else 0
+        # Step 2: reconfigure network connections (+ dedup handshake).
+        task = self._rebuild_task(vertex, snapshot)
+        if jm.config.mode is FaultToleranceMode.CLONOS:
+            task.seep_dedup = False
+        # Step 3: retrieve the determinant log from downstream tasks.  An
+        # orphaned task with fallback disabled skips this (and therefore
+        # dedup): divergent replay, at-least-once.
+        bundle = None
+        if task.causal is not None and case is not RecoveryCase.ORPHANED:
+            bundle = yield from self._fetch_determinants(vertex)
+        if case is RecoveryCase.ORPHANED:
+            for channel in task.all_output_channels:
+                channel.suppress_until_seq = -1
+        jm.dead_tasks.discard(vertex.name)
+        # Steps 5+6 run inside the task: determinant-driven replay with
+        # sender-side dedup.  If nothing needs replaying the task reports
+        # recovered immediately.
+        task.start(snapshot, recovery_bundle=bundle, replay_from_epoch=restore_epoch)
+        if task.status is TaskStatus.RUNNING:
+            jm.recovering_tasks.discard(vertex.name)
+        # Step 4: request in-flight replay from upstream (parallel to 3).
+        self._request_replays(vertex, restore_epoch)
+
+    def _fetch_determinants(self, vertex):
+        """Collect this task's replicated bundle from every surviving holder
+        within the sharing depth, charging RPC + transfer time."""
+        jm = self.jm
+        dsd = jm.config.clonos.determinant_sharing_depth
+        holder_names = downstream_within(jm.adjacency, vertex.name, dsd)
+        bundles = []
+        total_bytes = 0
+        for name in sorted(holder_names):
+            holder = jm.vertices[name].task
+            if holder is None or holder.status is TaskStatus.FAILED:
+                continue
+            if holder.causal is None:
+                continue
+            stored = holder.causal.stored_bundle_for(vertex.name)
+            if stored is not None:
+                bundles.append(stored)
+                total_bytes += stored.size_bytes()
+        yield self.env.timeout(
+            2 * self.cost.rpc_latency + self.cost.transmission_time(total_bytes)
+        )
+        return merge_bundles(bundles)
+
+
+class LocalReplayCoordinator(BaseCoordinator):
+    """Local recovery with upstream backup but no determinants.
+
+    ``seep_dedup=False``: divergent replay, at-least-once (Section 5.4).
+    ``seep_dedup=True``: SEEP-style receiver-side dedup by record counts —
+    consistent only when operators are deterministic (Table 1).
+    """
+
+    def __init__(self, jm, seep_dedup: bool):
+        super().__init__(jm)
+        self.seep_dedup = seep_dedup
+
+    def on_failure_detected(self, task_name: str) -> None:
+        self.jm.recovering_tasks.add(task_name)
+        self.env.process(
+            self._recover(self.jm.vertices[task_name]), name=f"recover:{task_name}"
+        )
+
+    def _recover(self, vertex):
+        jm = self.jm
+        snapshot = yield from self._obtain_snapshot(vertex)
+        restore_epoch = snapshot.checkpoint_id if snapshot is not None else 0
+        task = self._rebuild_task(vertex, snapshot)
+        task.seep_dedup = self.seep_dedup
+        # No determinants: suppression would misalign with the regenerated
+        # (divergent) buffer boundaries, so the sender resends everything.
+        for channel in task.all_output_channels:
+            channel.suppress_until_seq = -1
+        if self.seep_dedup:
+            # Arm receiver-side dedup at every surviving direct downstream.
+            for _edge, channels in vertex.out_links:
+                for _flat_idx, down_name, link in channels:
+                    receiver = link.receiver
+                    down_task = jm.vertices[down_name].task
+                    if (
+                        receiver is not None
+                        and down_task is not None
+                        and down_task.status is not TaskStatus.FAILED
+                    ):
+                        down_task.enter_seep_dedup(receiver.index, restore_epoch)
+        jm.dead_tasks.discard(vertex.name)
+        task.start(snapshot)
+        jm.recovering_tasks.discard(vertex.name)
+        jm.recovery_events.append((self.env.now, "recovered", vertex.name))
+        self._request_replays(vertex, restore_epoch)
+
+
+class GapRecoveryCoordinator(BaseCoordinator):
+    """At-most-once: restart from checkpoint, skip everything lost."""
+
+    def on_failure_detected(self, task_name: str) -> None:
+        self.jm.recovering_tasks.add(task_name)
+        self.env.process(
+            self._recover(self.jm.vertices[task_name]), name=f"recover:{task_name}"
+        )
+
+    def _recover(self, vertex):
+        jm = self.jm
+        snapshot = yield from self._obtain_snapshot(vertex)
+        task = self._rebuild_task(vertex, snapshot)
+        # Gap recovery skips the lost data instead of regenerating it, so
+        # sequence-number dedup is meaningless: new output is new data.
+        for channel in task.all_output_channels:
+            channel.suppress_until_seq = -1
+        jm.dead_tasks.discard(vertex.name)
+        task.start(snapshot)
+        if vertex.is_source and isinstance(task.operator, KafkaSource):
+            # Jump over the gap: resume from live data, not the checkpoint.
+            partition = task.operator.log.partition(
+                task.operator.topic, vertex.subtask_index
+            )
+            task.operator.offset = max(
+                task.operator.offset, partition.end_offset(self.env.now)
+            )
+        jm.recovering_tasks.discard(vertex.name)
+        jm.recovery_events.append((self.env.now, "recovered", vertex.name))

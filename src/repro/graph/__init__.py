@@ -1,0 +1,20 @@
+"""Dataflow graphs and stream elements."""
+
+from repro.graph.fusion import ChainedOperator, fuse
+from repro.graph.elements import (
+    CheckpointBarrier,
+    EndOfStream,
+    StreamElement,
+    StreamRecord,
+    Watermark,
+)
+
+__all__ = [
+    "ChainedOperator",
+    "CheckpointBarrier",
+    "EndOfStream",
+    "StreamElement",
+    "StreamRecord",
+    "Watermark",
+    "fuse",
+]

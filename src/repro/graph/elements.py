@@ -1,0 +1,133 @@
+"""Stream elements: the things that travel through channels.
+
+Data records, watermarks, and checkpoint barriers all flow *in-band* inside
+network buffers, exactly as in Flink; barriers therefore respect FIFO order
+per channel, which is what makes aligned (Chandy-Lamport style) checkpoints
+correct.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class StreamElement:
+    """Base class for everything shipped through a channel."""
+
+    __slots__ = ()
+
+    is_record = False
+    is_watermark = False
+    is_barrier = False
+
+
+class StreamRecord(StreamElement):
+    """A data record with an (event-time) timestamp and a partitioning key.
+
+    ``created_at`` carries the simulated wall-clock time at which the record
+    was first ingested by a source; sinks use it for end-to-end latency.
+    """
+
+    __slots__ = ("value", "timestamp", "key", "created_at")
+
+    is_record = True
+
+    def __init__(
+        self,
+        value: Any,
+        timestamp: float = 0.0,
+        key: Any = None,
+        created_at: Optional[float] = None,
+    ):
+        self.value = value
+        self.timestamp = timestamp
+        self.key = key
+        self.created_at = created_at
+
+    def with_value(self, value: Any, key: Any = None) -> "StreamRecord":
+        """Derive an output record, inheriting time metadata."""
+        return StreamRecord(
+            value,
+            timestamp=self.timestamp,
+            key=self.key if key is None else key,
+            created_at=self.created_at,
+        )
+
+    def __repr__(self) -> str:
+        return f"StreamRecord({self.value!r}, ts={self.timestamp}, key={self.key!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamRecord):
+            return NotImplemented
+        return (
+            self.value == other.value
+            and self.timestamp == other.timestamp
+            and self.key == other.key
+        )
+
+    def __hash__(self):
+        return hash((repr(self.value), self.timestamp, repr(self.key)))
+
+
+class Watermark(StreamElement):
+    """A low-watermark: a promise that no record with a smaller event time
+    will arrive on this stream (Section 4.1, out-of-order processing)."""
+
+    __slots__ = ("timestamp",)
+
+    is_watermark = True
+
+    def __init__(self, timestamp: float):
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        return f"Watermark({self.timestamp})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Watermark):
+            return NotImplemented
+        return self.timestamp == other.timestamp
+
+    def __hash__(self):
+        return hash(("wm", self.timestamp))
+
+
+class CheckpointBarrier(StreamElement):
+    """A Chandy-Lamport barrier separating checkpoint epochs.
+
+    A barrier with id *n* closes epoch *n-1*: state snapshotted on its
+    passage reflects exactly the records of epochs < n.
+    """
+
+    __slots__ = ("checkpoint_id",)
+
+    is_barrier = True
+
+    def __init__(self, checkpoint_id: int):
+        self.checkpoint_id = checkpoint_id
+
+    def __repr__(self) -> str:
+        return f"CheckpointBarrier({self.checkpoint_id})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CheckpointBarrier):
+            return NotImplemented
+        return self.checkpoint_id == other.checkpoint_id
+
+    def __hash__(self):
+        return hash(("cb", self.checkpoint_id))
+
+
+class EndOfStream(StreamElement):
+    """Marks source exhaustion for finite test inputs."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "EndOfStream()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EndOfStream)
+
+    def __hash__(self):
+        return hash("eos")

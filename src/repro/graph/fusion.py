@@ -1,0 +1,250 @@
+"""Operator chaining (fusion).
+
+The paper evaluates Nexmark with "operator fusion turned on" (Section 7.3):
+consecutive operators connected by a forward edge execute inside one task,
+eliminating the network hop (and, under Clonos, that hop's in-flight logging
+and determinant traffic).
+
+:func:`fuse` rewrites a logical :class:`~repro.graph.logical.JobGraph`,
+merging every eligible forward chain into a single node whose factory builds
+a :class:`ChainedOperator`.  Eligibility is Flink's: a one-to-one forward
+edge, equal parallelism, single-output upstream, single-input downstream.
+Sources keep their own node (their driver loop differs), so chains start at
+the first post-source operator.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, List, Optional
+
+from repro.graph.elements import StreamRecord
+from repro.graph.logical import FORWARD, JobGraph, LogicalEdge, LogicalNode
+from repro.operators.base import Context, Operator
+from repro.state.backend import StateDescriptor
+from repro.timing.timers import Timer
+
+
+class _StageContext:
+    """The Context a chained sub-operator sees.
+
+    Differences from the task context it wraps:
+
+    * ``collect`` feeds the *next* stage (or the task's real output for the
+      last stage);
+    * keyed state names are prefixed per stage, so two chained operators
+      using the same descriptor name do not collide;
+    * timer namespaces are prefixed per stage for routing back.
+    """
+
+    def __init__(self, parent: Context, stage_index: int, is_last: bool):
+        self._parent = parent
+        self._stage = stage_index
+        self._is_last = is_last
+        self.staged_output: List[StreamRecord] = []
+        self._descriptor_cache = {}
+
+    # Everything not overridden delegates to the task context (current_key,
+    # element_timestamp, services, ...).
+    def __getattr__(self, name):
+        return getattr(self._parent, name)
+
+    def _prefixed(self, descriptor: StateDescriptor) -> StateDescriptor:
+        cached = self._descriptor_cache.get(descriptor.name)
+        if cached is None:
+            cached = copy.copy(descriptor)
+            cached.name = f"chain{self._stage}.{descriptor.name}"
+            self._descriptor_cache[descriptor.name] = cached
+        return cached
+
+    def state(self, descriptor: StateDescriptor):
+        return self._parent.state(self._prefixed(descriptor))
+
+    def collect(self, value: Any, timestamp: Optional[float] = None, key: Any = None):
+        record = StreamRecord(
+            value,
+            timestamp=self._parent.element_timestamp if timestamp is None else timestamp,
+            key=key,
+            created_at=self._parent.element_created_at,
+        )
+        self.collect_record(record)
+
+    def collect_record(self, record: StreamRecord) -> None:
+        if self._is_last:
+            self._parent.collect_record(record)
+        else:
+            self.staged_output.append(record)
+
+    def register_processing_timer(self, fire_time, namespace, payload=None) -> Timer:
+        return self._parent.register_processing_timer(
+            fire_time, f"chain{self._stage}:{namespace}", payload
+        )
+
+    def register_event_timer(self, fire_time, namespace, payload=None) -> Timer:
+        return self._parent.register_event_timer(
+            fire_time, f"chain{self._stage}:{namespace}", payload
+        )
+
+
+class ChainedOperator(Operator):
+    """Several operators executing back-to-back inside one task."""
+
+    def __init__(self, operators: List[Operator]):
+        if not operators:
+            raise ValueError("a chain needs at least one operator")
+        self.operators = operators
+        self.deterministic = all(op.deterministic for op in operators)
+        self._stage_contexts: Optional[List[_StageContext]] = None
+
+    def _contexts(self, ctx: Context) -> List[_StageContext]:
+        if self._stage_contexts is None:
+            last = len(self.operators) - 1
+            self._stage_contexts = [
+                _StageContext(ctx, i, i == last) for i in range(len(self.operators))
+            ]
+        return self._stage_contexts
+
+    def open(self, ctx: Context) -> None:
+        for stage_ctx, op in zip(self._contexts(ctx), self.operators):
+            op.open(stage_ctx)
+
+    # -- cascading ---------------------------------------------------------------
+
+    def _cascade_from(self, stage: int, records: List[StreamRecord], ctx: Context) -> None:
+        """Push ``records`` through stages ``stage``..end."""
+        contexts = self._contexts(ctx)
+        current = records
+        for index in range(stage, len(self.operators)):
+            if not current:
+                return
+            stage_ctx = contexts[index]
+            saved = (ctx.current_key, ctx.element_timestamp)
+            for record in current:
+                # Same contract as the task runtime: the stage sees the
+                # record's own key (None for unkeyed records — keyed work
+                # needs a hash edge, which is never fused).
+                ctx.current_key = record.key
+                ctx.backend.set_current_key(record.key)
+                ctx.element_timestamp = record.timestamp
+                self.operators[index].process(record, stage_ctx)
+            ctx.current_key, ctx.element_timestamp = saved
+            ctx.backend.set_current_key(ctx.current_key)
+            current, stage_ctx.staged_output = stage_ctx.staged_output, []
+        # Records leaving the last stage were already handed to the parent.
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        self._cascade_from(0, [record], ctx)
+
+    def on_watermark(self, watermark_ts: float, ctx: Context) -> None:
+        contexts = self._contexts(ctx)
+        for index, op in enumerate(self.operators):
+            op.on_watermark(watermark_ts, contexts[index])
+            staged, contexts[index].staged_output = contexts[index].staged_output, []
+            self._cascade_from(index + 1, staged, ctx)
+
+    def on_timer(self, timer: Timer, ctx: Context) -> None:
+        prefix, _, namespace = timer.namespace.partition(":")
+        if not prefix.startswith("chain"):
+            return
+        index = int(prefix[len("chain"):])
+        routed = Timer(
+            timer.timer_id, timer.key, namespace, timer.fire_time,
+            timer.payload, timer.is_event_time,
+        )
+        stage_ctx = self._contexts(ctx)[index]
+        self.operators[index].on_timer(routed, stage_ctx)
+        staged, stage_ctx.staged_output = stage_ctx.staged_output, []
+        self._cascade_from(index + 1, staged, ctx)
+
+    def on_barrier(self, checkpoint_id: int, ctx: Context) -> None:
+        for index, op in enumerate(self.operators):
+            op.on_barrier(checkpoint_id, self._contexts(ctx)[index])
+
+    def on_checkpoint_complete(self, checkpoint_id: int, ctx: Context) -> None:
+        for index, op in enumerate(self.operators):
+            op.on_checkpoint_complete(checkpoint_id, self._contexts(ctx)[index])
+
+    def close(self, ctx: Context) -> None:
+        contexts = self._contexts(ctx)
+        for index, op in enumerate(self.operators):
+            op.close(contexts[index])
+            staged, contexts[index].staged_output = contexts[index].staged_output, []
+            self._cascade_from(index + 1, staged, ctx)
+
+    # -- state ------------------------------------------------------------------------
+
+    def snapshot(self):
+        return [op.snapshot() for op in self.operators]
+
+    def restore(self, state) -> None:
+        if state is None:
+            return
+        for op, sub_state in zip(self.operators, state):
+            op.restore(sub_state)
+
+
+def _fusable(edge: LogicalEdge) -> bool:
+    return (
+        edge.partitioning == FORWARD
+        and not edge.upstream.is_source
+        and len(edge.upstream.outputs) == 1
+        and len(edge.downstream.inputs) == 1
+        and edge.upstream.parallelism == edge.downstream.parallelism
+    )
+
+
+def fuse(graph: JobGraph) -> JobGraph:
+    """Return a new JobGraph with eligible forward chains merged."""
+    order = graph.topological_order()
+    topo_index = {node.node_id: i for i, node in enumerate(order)}
+    head_of = {node.node_id: node.node_id for node in order}
+    chains = {node.node_id: [node] for node in order}
+    fusable_edges = sorted(
+        (edge for edge in graph.edges if _fusable(edge)),
+        key=lambda edge: topo_index[edge.upstream.node_id],
+    )
+    for edge in fusable_edges:
+        head = head_of[edge.upstream.node_id]
+        down_head = head_of[edge.downstream.node_id]
+        members = chains.pop(down_head)
+        chains[head].extend(members)
+        for member in members:
+            head_of[member.node_id] = head
+
+    def chain_factory(members: List[LogicalNode]) -> Callable[[], Operator]:
+        factories = [member.factory for member in members]
+        if len(factories) == 1:
+            return factories[0]
+        return lambda: ChainedOperator([factory() for factory in factories])
+
+    new_nodes: dict = {}
+    nodes: List[LogicalNode] = []
+    for node in order:
+        if node.node_id not in chains:
+            continue  # absorbed into an upstream chain
+        members = chains[node.node_id]
+        fused = LogicalNode(
+            len(nodes),
+            "+".join(member.name for member in members),
+            chain_factory(members),
+            members[0].parallelism,
+            is_source=members[0].is_source,
+            is_sink=members[-1].is_sink,
+        )
+        new_nodes[node.node_id] = fused
+        nodes.append(fused)
+
+    edges: List[LogicalEdge] = []
+    for edge in graph.edges:
+        if _fusable(edge):
+            continue  # internal to a chain
+        upstream = new_nodes[head_of[edge.upstream.node_id]]
+        downstream = new_nodes[head_of[edge.downstream.node_id]]
+        new_edge = LogicalEdge(
+            upstream, downstream, edge.partitioning, edge.key_selector, edge.input_index
+        )
+        upstream.outputs.append(new_edge)
+        downstream.inputs.append(new_edge)
+        edges.append(new_edge)
+
+    return JobGraph(f"{graph.name}(fused)", nodes, edges)

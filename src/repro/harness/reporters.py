@@ -1,0 +1,42 @@
+"""Plain-text table/series rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A minimal fixed-width table."""
+    materialized = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def render_series(
+    title: str, series: Sequence[Tuple[float, float]], bins: int = 24, width: int = 50
+) -> str:
+    """An ASCII sketch of a time series (for throughput/latency plots)."""
+    if not series:
+        return f"{title}: (empty)"
+    t0, t1 = series[0][0], series[-1][0]
+    span = max(t1 - t0, 1e-9)
+    buckets: List[List[float]] = [[] for _ in range(bins)]
+    for t, v in series:
+        index = min(bins - 1, int((t - t0) / span * bins))
+        buckets[index].append(v)
+    values = [sum(b) / len(b) if b else 0.0 for b in buckets]
+    peak = max(values) or 1.0
+    lines = [f"{title} (t={t0:.1f}..{t1:.1f}s, peak={peak:.1f})"]
+    for index, value in enumerate(values):
+        bar = "#" * int(value / peak * width)
+        stamp = t0 + (index + 0.5) / bins * span
+        lines.append(f"{stamp:7.1f}s |{bar:<{width}}| {value:10.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Measurement utilities matching the paper's methodology (Section 7.1)."""
+
+from repro.metrics.collectors import (
+    LatencyPoint,
+    ThroughputSample,
+    ThroughputSampler,
+    latency_points,
+    percentile,
+    recovery_time,
+    throughput_dip,
+)
+
+__all__ = [
+    "LatencyPoint",
+    "ThroughputSample",
+    "ThroughputSampler",
+    "latency_points",
+    "percentile",
+    "recovery_time",
+    "throughput_dip",
+]

@@ -1,0 +1,41 @@
+"""Network substrate: buffers, FIFO links, gates, writers, partitioners."""
+
+from repro.net.buffer import BufferPool, NetworkBuffer
+from repro.net.gate import InputChannel, InputGate
+from repro.net.link import NetworkLink
+from repro.net.partitioner import (
+    BroadcastPartitioner,
+    ForwardPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RebalancePartitioner,
+    stable_hash,
+)
+from repro.net.serialization import element_size, payload_size, register_sizer
+from repro.net.writer import (
+    CausalOutputContext,
+    InFlightLogSink,
+    OutputChannel,
+    RecordWriter,
+)
+
+__all__ = [
+    "BroadcastPartitioner",
+    "BufferPool",
+    "CausalOutputContext",
+    "ForwardPartitioner",
+    "HashPartitioner",
+    "InFlightLogSink",
+    "InputChannel",
+    "InputGate",
+    "NetworkBuffer",
+    "NetworkLink",
+    "OutputChannel",
+    "Partitioner",
+    "RebalancePartitioner",
+    "RecordWriter",
+    "element_size",
+    "payload_size",
+    "register_sizer",
+    "stable_hash",
+]

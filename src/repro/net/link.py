@@ -1,0 +1,108 @@
+"""Network links: reliable FIFO wires between task endpoints.
+
+A :class:`NetworkLink` is the physical connection behind one logical channel.
+It survives the failure of either endpoint; recovery *re-attaches* a new
+sender or receiver (Section 6.2, dynamic network reconfiguration) and the
+link reports the hand-shake information both sides need (the receiver's last
+received sequence number, used for sender-side deduplication).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import CostModel
+from repro.errors import NetworkError
+from repro.net.buffer import NetworkBuffer
+from repro.sim.core import Environment
+from repro.sim.queues import Store
+
+
+class ReceiverEndpoint:
+    """What a link needs from the receiving side (implemented by
+    :class:`repro.net.gate.InputChannel`)."""
+
+    def deliver(self, buffer: NetworkBuffer):
+        """Return a waitable event; blocking models exhausted credits."""
+        raise NotImplementedError
+
+
+class NetworkLink:
+    """One FIFO wire with latency, bandwidth, and a small in-transit window.
+
+    While no receiver is attached (the downstream task is dead and not yet
+    replaced), delivered buffers are *dropped*: this is precisely the data
+    that upstream in-flight logs exist to regenerate.
+    """
+
+    def __init__(self, env: Environment, cost: CostModel, name: str = "", capacity: int = 4):
+        self.env = env
+        self.cost = cost
+        self.name = name
+        self._wire: Store[NetworkBuffer] = Store(env, capacity=capacity)
+        self._receiver: Optional[ReceiverEndpoint] = None
+        #: Bumped on reset(): the pump drops any buffer it picked up before
+        #: the reset (data in the TCP stack dies with the connection).
+        self._generation = 0
+        #: Buffers dropped because the receiver was dead; for assertions.
+        self.dropped_buffers = 0
+        #: Total payload + determinant bytes carried, for overhead metrics.
+        self.bytes_carried = 0
+        self.buffers_carried = 0
+        self._pump_proc = env.process(self._pump(), name=f"link-pump:{name}")
+
+    @property
+    def receiver(self) -> Optional[ReceiverEndpoint]:
+        return self._receiver
+
+    def attach_receiver(self, receiver: ReceiverEndpoint) -> None:
+        """Connect (or re-connect after recovery) the receiving endpoint."""
+        self._receiver = receiver
+
+    def detach_receiver(self) -> None:
+        """Called when the downstream task dies: in-transit data is lost."""
+        self._receiver = None
+
+    def send(self, buffer: NetworkBuffer):
+        """Hand a buffer to the wire; blocks when the transmit window is full."""
+        return self._wire.put(buffer)
+
+    def reset(self) -> int:
+        """Connection reset (the sender died): in-transit data is lost and
+        the dead sender's queued puts are purged.  Returns dropped count."""
+        self._generation += 1
+        dropped = self._wire.clear()
+        for buffer in dropped:
+            self._drop(buffer)
+        for buffer in self._wire.drop_waiting_puts():
+            self._drop(buffer)
+        return len(dropped)
+
+    def try_send(self, buffer: NetworkBuffer) -> bool:
+        return self._wire.try_put(buffer)
+
+    @property
+    def in_transit(self) -> int:
+        return len(self._wire)
+
+    def _pump(self):
+        while True:
+            buffer = yield self._wire.get()
+            generation = self._generation
+            yield self.env.timeout(self.cost.transmission_time(buffer.total_bytes))
+            self.bytes_carried += buffer.total_bytes
+            self.buffers_carried += 1
+            receiver = self._receiver
+            if receiver is None or generation != self._generation:
+                self._drop(buffer)
+                continue
+            try:
+                yield receiver.deliver(buffer)
+            except NetworkError:
+                # Receiver torn down while we were blocked on its credits.
+                self._drop(buffer)
+
+    def _drop(self, buffer: NetworkBuffer) -> None:
+        self.dropped_buffers += 1
+        if buffer.recycle_on_consume:
+            buffer.recycle()

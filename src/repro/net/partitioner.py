@@ -1,0 +1,85 @@
+"""Stream partitioners: how records pick an output channel.
+
+Hash partitioning must be *stable across executions* (a recovering task must
+route replayed records identically), so we avoid Python's randomised
+``hash()`` for strings and use a deterministic FNV-1a instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.errors import NetworkError
+from repro.graph.elements import StreamRecord
+
+
+def stable_hash(value: Any) -> int:
+    """Deterministic, execution-stable hash of a partitioning key."""
+    data = repr(value).encode("utf-8")
+    acc = 0xCBF29CE484222325
+    for byte in data:
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+class Partitioner:
+    """Chooses target channel indices for an outgoing record."""
+
+    def select(self, record: StreamRecord, num_channels: int) -> List[int]:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class ForwardPartitioner(Partitioner):
+    """One-to-one: parallel instance i sends to downstream instance i."""
+
+    def __init__(self, subtask_index: int = 0):
+        self.subtask_index = subtask_index
+
+    def select(self, record: StreamRecord, num_channels: int) -> List[int]:
+        if num_channels == 1:
+            return [0]
+        return [self.subtask_index % num_channels]
+
+
+class HashPartitioner(Partitioner):
+    """Keyed (shuffle) partitioning on ``record.key`` (or a key selector)."""
+
+    def __init__(self, key_selector: Callable[[Any], Any] = None):
+        self._key_selector = key_selector
+
+    def select(self, record: StreamRecord, num_channels: int) -> List[int]:
+        key = record.key if self._key_selector is None else self._key_selector(record.value)
+        if key is None:
+            raise NetworkError("hash partitioning requires a record key")
+        return [stable_hash(key) % num_channels]
+
+
+class RebalancePartitioner(Partitioner):
+    """Round-robin across channels (stateful; the counter is part of the
+    task's checkpointed network state so replay routes identically)."""
+
+    def __init__(self):
+        self.counter = 0
+
+    def select(self, record: StreamRecord, num_channels: int) -> List[int]:
+        target = self.counter % num_channels
+        self.counter += 1
+        return [target]
+
+    def snapshot(self) -> int:
+        return self.counter
+
+    def restore(self, counter: int) -> None:
+        self.counter = counter
+
+
+class BroadcastPartitioner(Partitioner):
+    """Every record goes to every channel."""
+
+    def select(self, record: StreamRecord, num_channels: int) -> List[int]:
+        return list(range(num_channels))

@@ -1,0 +1,16 @@
+"""Nexmark benchmark: data model, deterministic generator, queries."""
+
+from repro.nexmark.generator import NexmarkGenerator, event_timestamp
+from repro.nexmark.model import Auction, Bid, NexmarkEvent, Person
+from repro.nexmark.queries import NONDETERMINISTIC_QUERIES, QUERIES
+
+__all__ = [
+    "Auction",
+    "Bid",
+    "NONDETERMINISTIC_QUERIES",
+    "NexmarkEvent",
+    "NexmarkGenerator",
+    "Person",
+    "QUERIES",
+    "event_timestamp",
+]

@@ -1,0 +1,131 @@
+"""Deterministic Nexmark event generator.
+
+Events are a pure function of ``(seed, partition, offset)``, so a topic
+backed by this generator is unbounded, O(1)-memory, and byte-identically
+replayable from any offset — the property lineage-based replay needs from
+its sources (Section 5.1).
+
+The standard Nexmark mix is kept: out of every 50 events, 1 person,
+3 auctions, and 46 bids.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.external.kafka import DurableLog
+from repro.nexmark.model import (
+    CATEGORIES,
+    CITIES,
+    FIRST_NAMES,
+    LAST_NAMES,
+    US_STATES,
+    Auction,
+    Bid,
+    NexmarkEvent,
+    Person,
+)
+from repro.sim.rng import derive_seed
+
+PERSON_PROPORTION = 1
+AUCTION_PROPORTION = 3
+BID_PROPORTION = 46
+PROPORTION_DENOMINATOR = PERSON_PROPORTION + AUCTION_PROPORTION + BID_PROPORTION
+
+#: Auctions stay open for this many seconds of event time.
+AUCTION_DURATION = 20.0
+#: How far back bids/auctions reference existing entities.
+ACTIVITY_WINDOW = 250
+
+
+class NexmarkGenerator:
+    """Generates the event at a given (partition, offset)."""
+
+    def __init__(self, seed: int = 42, rate_per_partition: float = 1000.0,
+                 hot_auction_ratio: int = 2):
+        self.seed = seed
+        self.rate = rate_per_partition
+        #: 1 in ``hot_auction_ratio`` bids goes to the current hottest
+        #: auction (key skew, the reason for Q5/Q7's aggregation trees).
+        self.hot_auction_ratio = hot_auction_ratio
+
+    # -- id spaces -------------------------------------------------------------
+    # Global ids interleave partitions so parallel generators never collide.
+
+    def _rng_for(self, partition: int, offset: int):
+        import random
+
+        return random.Random(derive_seed(self.seed, f"{partition}:{offset}"))
+
+    def _event_index(self, partition: int, offset: int) -> int:
+        return offset * 131 + partition  # distinct per (partition, offset)
+
+    def event_time_of(self, offset: int) -> float:
+        return offset / self.rate
+
+    def generate(self, partition: int, offset: int) -> NexmarkEvent:
+        """The deterministic event at this position."""
+        rng = self._rng_for(partition, offset)
+        slot = offset % PROPORTION_DENOMINATOR
+        event_time = self.event_time_of(offset)
+        index = self._event_index(partition, offset)
+        if slot < PERSON_PROPORTION:
+            return Person(
+                person_id=index,
+                name=f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}",
+                state=rng.choice(US_STATES),
+                city=rng.choice(CITIES),
+                event_time=event_time,
+            )
+        if slot < PERSON_PROPORTION + AUCTION_PROPORTION:
+            initial = 1.0 + rng.random() * 99.0
+            return Auction(
+                auction_id=index,
+                seller=self._recent_person(partition, offset, rng),
+                category=rng.choice(CATEGORIES),
+                initial_bid=round(initial, 2),
+                reserve=round(initial * (1.1 + rng.random()), 2),
+                expires=event_time + AUCTION_DURATION,
+                event_time=event_time,
+            )
+        return Bid(
+            auction=self._target_auction(partition, offset, rng),
+            bidder=self._recent_person(partition, offset, rng),
+            price=round(1.0 + rng.random() * 999.0, 2),
+            event_time=event_time,
+        )
+
+    def _recent_person(self, partition: int, offset: int, rng) -> int:
+        base = max(0, offset - ACTIVITY_WINDOW)
+        candidate = rng.randrange(base, offset + 1)
+        person_offset = (candidate // PROPORTION_DENOMINATOR) * PROPORTION_DENOMINATOR
+        return self._event_index(partition, person_offset)
+
+    def _target_auction(self, partition: int, offset: int, rng) -> int:
+        period = PROPORTION_DENOMINATOR
+        if rng.randrange(self.hot_auction_ratio) == 0:
+            # The hottest auction: the most recent one in this partition.
+            base = (offset // period) * period + PERSON_PROPORTION
+        else:
+            start = max(0, offset - ACTIVITY_WINDOW)
+            candidate = rng.randrange(start, offset + 1)
+            base = (candidate // period) * period + PERSON_PROPORTION
+            base += rng.randrange(AUCTION_PROPORTION)
+        return self._event_index(partition, min(base, offset))
+
+    def install_topic(
+        self,
+        log: DurableLog,
+        topic: str,
+        partitions: int,
+        total_per_partition: Optional[int] = None,
+    ) -> None:
+        """Create a generated topic backed by this generator."""
+        log.create_generated_topic(
+            topic, partitions, self.generate, self.rate, total_per_partition
+        )
+
+
+def event_timestamp(event: NexmarkEvent, arrival: float) -> float:
+    """Event-time extractor used by Nexmark sources."""
+    return event.event_time

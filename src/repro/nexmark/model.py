@@ -1,0 +1,117 @@
+"""Nexmark data model: persons, auctions, bids (Tucker et al., 2008).
+
+Plain ``__slots__`` classes with registered wire sizes so the network cost
+model sees realistic record sizes (~100-200 B, matching the benchmark's
+average event size).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.net.serialization import register_sizer
+
+US_STATES = ("OR", "ID", "CA", "WA", "AZ", "NV", "UT", "CO", "NM", "TX")
+CITIES = (
+    "Portland", "Boise", "San Francisco", "Seattle", "Phoenix",
+    "Las Vegas", "Salt Lake City", "Denver", "Santa Fe", "Austin",
+)
+CATEGORIES = tuple(range(10))
+FIRST_NAMES = ("Walter", "Ava", "Noor", "Kai", "Maya", "Otto", "Lena", "Igor")
+LAST_NAMES = ("Shultz", "Abrams", "Jones", "Wilson", "White", "Bartik", "Walton")
+
+
+class Person:
+    """A registered marketplace user."""
+
+    __slots__ = ("person_id", "name", "state", "city", "event_time")
+
+    kind = "person"
+
+    def __init__(self, person_id: int, name: str, state: str, city: str, event_time: float):
+        self.person_id = person_id
+        self.name = name
+        self.state = state
+        self.city = city
+        self.event_time = event_time
+
+    def __repr__(self) -> str:
+        return f"Person({self.person_id}, {self.name!r}, {self.state})"
+
+    def __eq__(self, other):
+        return isinstance(other, Person) and other.person_id == self.person_id
+
+    def __hash__(self):
+        return hash(("person", self.person_id))
+
+
+class Auction:
+    """An item listed for sale."""
+
+    __slots__ = (
+        "auction_id", "seller", "category", "initial_bid", "reserve",
+        "expires", "event_time",
+    )
+
+    kind = "auction"
+
+    def __init__(
+        self,
+        auction_id: int,
+        seller: int,
+        category: int,
+        initial_bid: float,
+        reserve: float,
+        expires: float,
+        event_time: float,
+    ):
+        self.auction_id = auction_id
+        self.seller = seller
+        self.category = category
+        self.initial_bid = initial_bid
+        self.reserve = reserve
+        self.expires = expires
+        self.event_time = event_time
+
+    def __repr__(self) -> str:
+        return f"Auction({self.auction_id}, seller={self.seller}, cat={self.category})"
+
+    def __eq__(self, other):
+        return isinstance(other, Auction) and other.auction_id == self.auction_id
+
+    def __hash__(self):
+        return hash(("auction", self.auction_id))
+
+
+class Bid:
+    """A bid on an auction."""
+
+    __slots__ = ("auction", "bidder", "price", "event_time")
+
+    kind = "bid"
+
+    def __init__(self, auction: int, bidder: int, price: float, event_time: float):
+        self.auction = auction
+        self.bidder = bidder
+        self.price = price
+        self.event_time = event_time
+
+    def __repr__(self) -> str:
+        return f"Bid(auction={self.auction}, bidder={self.bidder}, price={self.price})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Bid)
+            and (other.auction, other.bidder, other.price, other.event_time)
+            == (self.auction, self.bidder, self.price, self.event_time)
+        )
+
+    def __hash__(self):
+        return hash(("bid", self.auction, self.bidder, self.price, self.event_time))
+
+
+NexmarkEvent = Union[Person, Auction, Bid]
+
+register_sizer(Person, lambda p: 8 + 4 + len(p.name) + 2 + len(p.city) + 8)
+register_sizer(Auction, lambda a: 8 * 6 + 4)
+register_sizer(Bid, lambda b: 8 * 4)

@@ -1,0 +1,74 @@
+"""Operator library: sources, transforms, windows, joins, sinks."""
+
+from repro.operators.base import Context, Operator, Services
+from repro.operators.basic import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyedCounterOperator,
+    KeyedReduceOperator,
+    MapOperator,
+    ProcessOperator,
+    StatefulMapOperator,
+)
+from repro.operators.join import FullHistoryJoinOperator, WindowJoinOperator
+from repro.operators.multi import (
+    BroadcastApplyOperator,
+    CoFlatMapOperator,
+    CoMapOperator,
+    UnionOperator,
+)
+from repro.operators.sink import (
+    CollectSink,
+    KafkaSink,
+    SinkEntry,
+    TransactionalKafkaSink,
+)
+from repro.operators.source import IteratorSource, KafkaSource, SourceOperator
+from repro.operators.window import (
+    AvgAggregator,
+    CountAggregator,
+    EventTimeWindowOperator,
+    ListAggregator,
+    MaxAggregator,
+    ProcessingTimeWindowOperator,
+    SessionWindowOperator,
+    SumAggregator,
+    TimeWindow,
+    WindowAggregator,
+)
+
+__all__ = [
+    "AvgAggregator",
+    "BroadcastApplyOperator",
+    "CoFlatMapOperator",
+    "CoMapOperator",
+    "CollectSink",
+    "Context",
+    "CountAggregator",
+    "EventTimeWindowOperator",
+    "FilterOperator",
+    "FlatMapOperator",
+    "FullHistoryJoinOperator",
+    "IteratorSource",
+    "KafkaSink",
+    "KafkaSource",
+    "KeyedCounterOperator",
+    "KeyedReduceOperator",
+    "ListAggregator",
+    "MapOperator",
+    "MaxAggregator",
+    "Operator",
+    "ProcessOperator",
+    "ProcessingTimeWindowOperator",
+    "Services",
+    "SessionWindowOperator",
+    "SinkEntry",
+    "SourceOperator",
+    "StatefulMapOperator",
+    "SumAggregator",
+    "TimeWindow",
+    "TransactionalKafkaSink",
+    "UnionOperator",
+    "WindowAggregator",
+    "WindowJoinOperator",
+]

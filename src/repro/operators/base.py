@@ -1,0 +1,167 @@
+"""Operator model: the user/system logic hosted inside a task.
+
+Operators receive records via :meth:`Operator.process` and emit through the
+:class:`Context`.  All interaction with *nondeterministic* facilities —
+wall-clock time, random numbers, external services, custom logic — goes
+through ``ctx.services`` (the causal services of Section 4.2); under Clonos
+these log determinants and replay them during recovery, under the baselines
+they are passthroughs that genuinely observe the (changed) world.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import StateError
+from repro.graph.elements import StreamRecord
+from repro.state.backend import HashMapStateBackend, StateDescriptor
+from repro.timing.timers import Timer, TimerService
+
+
+class Services:
+    """Interface of the (causal) service provider available to operators.
+
+    Concrete implementations: :class:`repro.core.services.NaiveServices`
+    (baselines: real nondeterminism, nothing logged) and
+    :class:`repro.core.services.CausalServices` (Clonos: log + replay).
+    """
+
+    def timestamp(self) -> float:
+        """Current wall-clock (processing) time."""
+        raise NotImplementedError
+
+    def random(self) -> float:
+        """Uniform [0,1) random number."""
+        raise NotImplementedError
+
+    def http_get(self, key: str):
+        """Generator: query the external service; returns the response."""
+        raise NotImplementedError
+
+    def custom(self, name: str, fn: Callable[[Any], Any], argument: Any) -> Any:
+        """Run arbitrary user nondeterministic logic (Listing 2)."""
+        raise NotImplementedError
+
+
+class Context:
+    """Per-task context handed to operators.
+
+    The runtime sets ``current_key``/``element_timestamp`` before each
+    ``process`` call and drains ``pending_output`` afterwards (emission can
+    block on backpressure, so it happens in the task coroutine, not here).
+    """
+
+    def __init__(
+        self,
+        task_name: str,
+        subtask_index: int,
+        num_subtasks: int,
+        backend: HashMapStateBackend,
+        timer_service: TimerService,
+        services: Services,
+        env=None,
+    ):
+        self._env = env
+        self.task_name = task_name
+        self.subtask_index = subtask_index
+        self.num_subtasks = num_subtasks
+        self.backend = backend
+        self.timers = timer_service
+        self.services = services
+        self.current_key: Any = None
+        self.element_timestamp: float = 0.0
+        self.element_created_at: Optional[float] = None
+        self.current_watermark: float = float("-inf")
+        self.input_index: int = 0
+        self.pending_output: List[StreamRecord] = []
+
+    # -- emission ---------------------------------------------------------------
+
+    def collect(
+        self, value: Any, timestamp: Optional[float] = None, key: Any = None
+    ) -> None:
+        """Emit a value downstream (keyed routing is applied per edge)."""
+        self.pending_output.append(
+            StreamRecord(
+                value,
+                timestamp=self.element_timestamp if timestamp is None else timestamp,
+                key=key,
+                created_at=self.element_created_at,
+            )
+        )
+
+    def collect_record(self, record: StreamRecord) -> None:
+        self.pending_output.append(record)
+
+    # -- state --------------------------------------------------------------------
+
+    def state(self, descriptor: StateDescriptor):
+        return self.backend.get_state(descriptor)
+
+    # -- timers -------------------------------------------------------------------
+
+    def register_processing_timer(
+        self, fire_time: float, namespace: str, payload: Any = None
+    ) -> Timer:
+        return self.timers.register_processing_timer(
+            fire_time, self.current_key, namespace, payload
+        )
+
+    def register_event_timer(
+        self, fire_time: float, namespace: str, payload: Any = None
+    ) -> Timer:
+        return self.timers.register_event_timer(
+            fire_time, self.current_key, namespace, payload
+        )
+
+    def processing_time(self) -> float:
+        """Wall-clock time via the (causal) timestamp service."""
+        return self.services.timestamp()
+
+    @property
+    def now(self) -> float:
+        """Raw simulation clock — for *external side effects* (sink append
+        times, metrics) only; computation logic must use
+        :meth:`processing_time` so Clonos can log and replay it."""
+        if self._env is None:
+            raise StateError("context has no environment attached")
+        return self._env.now
+
+
+class Operator:
+    """Base operator. Subclasses override what they need."""
+
+    #: Set by deterministic built-ins; nondeterministic operators (anything
+    #: touching services other than through Clonos) must leave this False.
+    deterministic = True
+
+    def open(self, ctx: Context) -> None:
+        """Called once before any record (also after recovery restore)."""
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        raise NotImplementedError
+
+    def on_watermark(self, watermark_ts: float, ctx: Context) -> None:
+        """Called when the task's combined watermark advances (event timers
+        have already been delivered via :meth:`on_timer`)."""
+
+    def on_timer(self, timer: Timer, ctx: Context) -> None:
+        """A registered timer fired (ctx.current_key is the timer's key)."""
+
+    def on_barrier(self, checkpoint_id: int, ctx: Context) -> None:
+        """A checkpoint barrier passed this operator (epoch boundary)."""
+
+    def on_checkpoint_complete(self, checkpoint_id: int, ctx: Context) -> None:
+        """The job manager confirmed global completion of a checkpoint
+        (delivered via RPC; used by transactional sinks)."""
+
+    def snapshot(self) -> Any:
+        """Operator (non-keyed) state for checkpoints."""
+        return None
+
+    def restore(self, state: Any) -> None:
+        if state is not None:
+            raise StateError(f"{type(self).__name__} cannot restore state {state!r}")
+
+    def close(self, ctx: Context) -> None:
+        """End of stream (finite inputs only)."""

@@ -1,0 +1,108 @@
+"""Stateless and simply-stateful building-block operators."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.graph.elements import StreamRecord
+from repro.operators.base import Context, Operator
+from repro.state.backend import ReducingStateDescriptor, ValueStateDescriptor
+
+
+class MapOperator(Operator):
+    """Applies ``fn`` to each value, emitting one output per input."""
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self._fn = fn
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        ctx.collect(self._fn(record.value))
+
+
+class FilterOperator(Operator):
+    """Keeps values for which ``predicate`` is true."""
+
+    def __init__(self, predicate: Callable[[Any], bool]):
+        self._predicate = predicate
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        if self._predicate(record.value):
+            ctx.collect(record.value)
+
+
+class FlatMapOperator(Operator):
+    """Applies ``fn`` returning an iterable; emits each element."""
+
+    def __init__(self, fn: Callable[[Any], Iterable[Any]]):
+        self._fn = fn
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        for value in self._fn(record.value):
+            ctx.collect(value)
+
+
+class KeyedReduceOperator(Operator):
+    """Running reduce per key: emits the updated accumulator per record."""
+
+    def __init__(self, reduce_fn: Callable[[Any, Any], Any], state_name: str = "acc"):
+        self._descriptor = ReducingStateDescriptor(state_name, reduce_fn)
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        state = ctx.state(self._descriptor)
+        state.add(record.value)
+        ctx.collect(state.get())
+
+
+class KeyedCounterOperator(Operator):
+    """Counts records per key; emits ``(key, count)``."""
+
+    def __init__(self, state_name: str = "count"):
+        self._descriptor = ValueStateDescriptor(state_name, 0)
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        state = ctx.state(self._descriptor)
+        count = state.value() + 1
+        state.update(count)
+        ctx.collect((ctx.current_key, count))
+
+
+class StatefulMapOperator(Operator):
+    """Map with per-key value state: ``fn(old_state, value) -> (new_state, out)``."""
+
+    def __init__(self, fn: Callable[[Any, Any], tuple], state_name: str = "s", default: Any = None):
+        self._fn = fn
+        self._descriptor = ValueStateDescriptor(state_name, default)
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        state = ctx.state(self._descriptor)
+        new_state, out = self._fn(state.value(), record.value)
+        state.update(new_state)
+        if out is not None:
+            ctx.collect(out)
+
+
+class ProcessOperator(Operator):
+    """Escape hatch: wraps a user function ``fn(record, ctx)``."""
+
+    deterministic = False  # the user function may do anything
+
+    def __init__(
+        self,
+        fn: Callable[[StreamRecord, Context], None],
+        timer_fn: Optional[Callable[[Any, Context], None]] = None,
+        open_fn: Optional[Callable[[Context], None]] = None,
+    ):
+        self._fn = fn
+        self._timer_fn = timer_fn
+        self._open_fn = open_fn
+
+    def open(self, ctx: Context) -> None:
+        if self._open_fn is not None:
+            self._open_fn(ctx)
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        self._fn(record, ctx)
+
+    def on_timer(self, timer, ctx: Context) -> None:
+        if self._timer_fn is not None:
+            self._timer_fn(timer, ctx)

@@ -1,0 +1,99 @@
+"""Two-input join operators.
+
+Joins are *order-sensitive* multi-input operators: the interleaving of the
+two input streams decides both state evolution and output order, which is a
+core source of nondeterminism (Section 4.1, keyed streams & record arrival
+order).  Clonos' Order determinants pin the interleaving on replay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.graph.elements import StreamRecord
+from repro.operators.base import Context, Operator
+from repro.operators.window import TimeWindow, _window_start
+from repro.state.backend import ListStateDescriptor, MapStateDescriptor
+
+
+class FullHistoryJoinOperator(Operator):
+    """Unbounded two-input equi-join on the record key (Nexmark Q3 style).
+
+    Every left record is matched against all right records seen so far for
+    its key, and vice versa; both sides are retained forever.
+    """
+
+    def __init__(
+        self,
+        join_fn: Callable[[Any, Any], Any],
+        retain_left: bool = True,
+        retain_right: bool = True,
+    ):
+        self._join_fn = join_fn
+        self._retain = (retain_left, retain_right)
+        self._left = ListStateDescriptor("join_left")
+        self._right = ListStateDescriptor("join_right")
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        mine, other = (
+            (self._left, self._right) if ctx.input_index == 0 else (self._right, self._left)
+        )
+        if self._retain[ctx.input_index]:
+            ctx.state(mine).add(record.value)
+        for match in ctx.state(other).get():
+            if ctx.input_index == 0:
+                ctx.collect(self._join_fn(record.value, match))
+            else:
+                ctx.collect(self._join_fn(match, record.value))
+
+
+class WindowJoinOperator(Operator):
+    """Tumbling event-time window equi-join (Nexmark Q8 style).
+
+    Both inputs are bucketed into the same tumbling windows per key; when the
+    watermark passes a window's end, matching pairs are emitted.
+    """
+
+    def __init__(
+        self,
+        size: float,
+        join_fn: Callable[[Any, Any], Any],
+        emit_once_per_key: bool = False,
+    ):
+        self.size = size
+        self._join_fn = join_fn
+        self._emit_once_per_key = emit_once_per_key
+        self._buckets = MapStateDescriptor("wjoin")
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        if record.timestamp <= ctx.current_watermark:
+            return
+        start = _window_start(record.timestamp, self.size)
+        state = ctx.state(self._buckets)
+        bucket = state.get(start)
+        if bucket is None:
+            bucket = ([], [])
+            ctx.register_event_timer(
+                start + self.size, "wjoin", payload=TimeWindow(start, start + self.size)
+            )
+        bucket[ctx.input_index].append(record.value)
+        state.put(start, bucket)
+
+    def on_timer(self, timer, ctx: Context) -> None:
+        if timer.namespace != "wjoin":
+            return
+        window: TimeWindow = timer.payload
+        state = ctx.state(self._buckets)
+        bucket = state.get(window.start)
+        if bucket is None:
+            return
+        left, right = bucket
+        emit_ts = window.end - 1e-6  # maxTimestamp(): same watermark pass
+        if self._emit_once_per_key:
+            if left and right:
+                ctx.collect(self._join_fn(left[0], right[0]), timestamp=emit_ts)
+        else:
+            for lv in left:
+                for rv in right:
+                    ctx.collect(self._join_fn(lv, rv), timestamp=emit_ts)
+        state.remove(window.start)

@@ -1,0 +1,70 @@
+"""Two-input combinators: union and co-processing.
+
+These are thin but load-bearing: multi-input operators are where record
+*arrival order* nondeterminism lives (Section 4.1, keyed streams), so they
+are the natural subjects for the Order-determinant machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.graph.elements import StreamRecord
+from repro.operators.base import Context, Operator
+
+
+class UnionOperator(Operator):
+    """Merges both inputs into one stream, order of interleaving untouched."""
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        ctx.collect(record.value)
+
+
+class CoMapOperator(Operator):
+    """Applies ``left_fn`` to input 0 and ``right_fn`` to input 1."""
+
+    def __init__(self, left_fn: Callable[[Any], Any], right_fn: Callable[[Any], Any]):
+        self._fns = (left_fn, right_fn)
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        ctx.collect(self._fns[ctx.input_index](record.value))
+
+
+class CoFlatMapOperator(Operator):
+    """Flat-map variant of :class:`CoMapOperator`."""
+
+    def __init__(
+        self,
+        left_fn: Callable[[Any], Iterable[Any]],
+        right_fn: Callable[[Any], Iterable[Any]],
+    ):
+        self._fns = (left_fn, right_fn)
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        for value in self._fns[ctx.input_index](record.value):
+            ctx.collect(value)
+
+
+class BroadcastApplyOperator(Operator):
+    """Input 1 carries (broadcast) control values that update shared per-key
+    state; input 0 records are transformed against the latest control value.
+
+    A common enrich-with-rules pattern; order-sensitive, hence a good
+    nondeterminism stress (rule updates race with data).
+    """
+
+    def __init__(self, apply_fn: Callable[[Any, Any], Any], initial: Any = None):
+        self._apply_fn = apply_fn
+        self._rule = initial
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        if ctx.input_index == 1:
+            self._rule = record.value
+            return
+        ctx.collect(self._apply_fn(record.value, self._rule))
+
+    def snapshot(self):
+        return self._rule
+
+    def restore(self, state):
+        self._rule = state

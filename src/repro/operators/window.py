@@ -1,0 +1,293 @@
+"""Window operators: event-time, processing-time, sliding, session.
+
+Event-time windows are deterministic *given watermarks*; processing-time
+windows (and ingestion-time, which is processing time at the source) are
+nondeterministic because both the window assignment and the trigger instant
+come from the wall clock (Section 4.1) — they draw that clock through
+``ctx.processing_time()``, i.e. the causal Timestamp service, and use
+processing-time timers whose firing offsets Clonos logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, NamedTuple, Optional
+
+from repro.graph.elements import StreamRecord
+from repro.operators.base import Context, Operator
+from repro.state.backend import MapStateDescriptor
+
+
+class TimeWindow(NamedTuple):
+    start: float
+    end: float
+
+
+class WindowAggregator:
+    """Incremental window aggregation (Flink's AggregateFunction)."""
+
+    def create(self) -> Any:
+        raise NotImplementedError
+
+    def add(self, accumulator: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def result(self, accumulator: Any) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregator(WindowAggregator):
+    def create(self):
+        return 0
+
+    def add(self, accumulator, value):
+        return accumulator + 1
+
+    def result(self, accumulator):
+        return accumulator
+
+
+class SumAggregator(WindowAggregator):
+    def __init__(self, value_fn: Callable[[Any], float] = lambda v: v):
+        self._value_fn = value_fn
+
+    def create(self):
+        return 0.0
+
+    def add(self, accumulator, value):
+        return accumulator + self._value_fn(value)
+
+    def result(self, accumulator):
+        return accumulator
+
+
+class AvgAggregator(WindowAggregator):
+    def __init__(self, value_fn: Callable[[Any], float] = lambda v: v):
+        self._value_fn = value_fn
+
+    def create(self):
+        return (0.0, 0)
+
+    def add(self, accumulator, value):
+        total, count = accumulator
+        return (total + self._value_fn(value), count + 1)
+
+    def result(self, accumulator):
+        total, count = accumulator
+        return total / count if count else 0.0
+
+
+class MaxAggregator(WindowAggregator):
+    """Keeps the value maximising ``score_fn``."""
+
+    def __init__(self, score_fn: Callable[[Any], float] = lambda v: v):
+        self._score_fn = score_fn
+
+    def create(self):
+        return None
+
+    def add(self, accumulator, value):
+        if accumulator is None or self._score_fn(value) > self._score_fn(accumulator):
+            return value
+        return accumulator
+
+    def result(self, accumulator):
+        return accumulator
+
+
+class ListAggregator(WindowAggregator):
+    """Collects all window elements (for apply-style window functions)."""
+
+    def create(self):
+        return []
+
+    def add(self, accumulator, value):
+        accumulator.append(value)
+        return accumulator
+
+    def result(self, accumulator):
+        return accumulator
+
+
+def _window_start(timestamp: float, size: float, slide: Optional[float] = None) -> float:
+    step = slide if slide is not None else size
+    return (timestamp // step) * step
+
+
+class EventTimeWindowOperator(Operator):
+    """Keyed tumbling/sliding event-time window.
+
+    ``result_fn(key, window, aggregate_result)`` shapes the emitted value;
+    defaults to the aggregate result itself.
+    """
+
+    def __init__(
+        self,
+        size: float,
+        aggregator: WindowAggregator,
+        slide: Optional[float] = None,
+        result_fn: Optional[Callable[[Any, TimeWindow, Any], Any]] = None,
+        state_name: str = "windows",
+    ):
+        self.size = size
+        self.slide = slide
+        self.aggregator = aggregator
+        self.result_fn = result_fn
+        self._descriptor = MapStateDescriptor(state_name)
+
+    def _assigned_windows(self, timestamp: float) -> List[TimeWindow]:
+        if self.slide is None:
+            start = _window_start(timestamp, self.size)
+            return [TimeWindow(start, start + self.size)]
+        windows = []
+        first = _window_start(timestamp, self.size, self.slide)
+        start = first
+        while start + self.size > timestamp >= start - 1e-12:
+            windows.append(TimeWindow(start, start + self.size))
+            start -= self.slide
+            if start < first - self.size:
+                break
+        return [w for w in windows if w.start <= timestamp < w.end]
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        if record.timestamp <= ctx.current_watermark:
+            return  # late record: dropped (bounded lateness already applied)
+        state = ctx.state(self._descriptor)
+        for window in self._assigned_windows(record.timestamp):
+            acc = state.get(window.start)
+            if acc is None:
+                acc = self.aggregator.create()
+                ctx.register_event_timer(window.end, "window", payload=window)
+            state.put(window.start, self.aggregator.add(acc, record.value))
+
+    def on_timer(self, timer, ctx: Context) -> None:
+        if timer.namespace != "window":
+            return
+        window: TimeWindow = timer.payload
+        state = ctx.state(self._descriptor)
+        acc = state.get(window.start)
+        if acc is None:
+            return
+        result = self.aggregator.result(acc)
+        if self.result_fn is not None:
+            result = self.result_fn(ctx.current_key, window, result)
+        # Flink's maxTimestamp(): end - epsilon, so cascaded same-size
+        # windows downstream fire on the same watermark pass.
+        ctx.collect(result, timestamp=window.end - 1e-6)
+        state.remove(window.start)
+
+
+class ProcessingTimeWindowOperator(Operator):
+    """Keyed tumbling processing-time window — nondeterministic by nature."""
+
+    deterministic = False
+
+    def __init__(
+        self,
+        size: float,
+        aggregator: WindowAggregator,
+        result_fn: Optional[Callable[[Any, TimeWindow, Any], Any]] = None,
+        state_name: str = "pt_windows",
+    ):
+        self.size = size
+        self.aggregator = aggregator
+        self.result_fn = result_fn
+        self._descriptor = MapStateDescriptor(state_name)
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        now = ctx.processing_time()  # causal Timestamp service
+        start = _window_start(now, self.size)
+        window = TimeWindow(start, start + self.size)
+        state = ctx.state(self._descriptor)
+        acc = state.get(start)
+        if acc is None:
+            acc = self.aggregator.create()
+            ctx.register_processing_timer(window.end, "pt_window", payload=window)
+        state.put(start, self.aggregator.add(acc, record.value))
+
+    def on_timer(self, timer, ctx: Context) -> None:
+        if timer.namespace != "pt_window":
+            return
+        window: TimeWindow = timer.payload
+        self._fire(window, ctx)
+
+    def _fire(self, window: TimeWindow, ctx: Context) -> None:
+        state = ctx.state(self._descriptor)
+        acc = state.get(window.start)
+        if acc is None:
+            return
+        result = self.aggregator.result(acc)
+        if self.result_fn is not None:
+            result = self.result_fn(ctx.current_key, window, result)
+        ctx.collect(result, timestamp=window.end)
+        state.remove(window.start)
+
+    def close(self, ctx: Context) -> None:
+        """End of stream: flush windows whose timers have not fired yet
+        (processing-time timers would otherwise die with the job)."""
+        for key in list(ctx.backend.keys(self._descriptor.name)):
+            ctx.backend.set_current_key(key)
+            ctx.current_key = key
+            state = ctx.state(self._descriptor)
+            for start, _acc in sorted(state.items()):
+                self._fire(TimeWindow(start, start + self.size), ctx)
+
+
+class SessionWindowOperator(Operator):
+    """Keyed event-time session windows with a fixed gap (Nexmark Q11)."""
+
+    def __init__(
+        self,
+        gap: float,
+        aggregator: WindowAggregator,
+        result_fn: Optional[Callable[[Any, TimeWindow, Any], Any]] = None,
+        state_name: str = "sessions",
+    ):
+        self.gap = gap
+        self.aggregator = aggregator
+        self.result_fn = result_fn
+        #: map window_start -> (end, accumulator); sessions merge on overlap.
+        self._descriptor = MapStateDescriptor(state_name)
+
+    def process(self, record: StreamRecord, ctx: Context) -> None:
+        if record.timestamp <= ctx.current_watermark:
+            return
+        state = ctx.state(self._descriptor)
+        start, end = record.timestamp, record.timestamp + self.gap
+        acc = self.aggregator.add(self.aggregator.create(), record.value)
+        # Merge every overlapping session into the new one.
+        for other_start, (other_end, other_acc) in state.items():
+            if other_start <= end and start <= other_end:
+                start = min(start, other_start)
+                end = max(end, other_end)
+                acc = self._merge(other_acc, acc)
+                state.remove(other_start)
+        state.put(start, (end, acc))
+        ctx.register_event_timer(end, "session", payload=start)
+
+    def _merge(self, left: Any, right: Any) -> Any:
+        merged = left
+        if isinstance(left, list) and isinstance(right, list):
+            return left + right
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            return left + right
+        # Fallback: re-add right into left is impossible generically; prefer
+        # list/count aggregators for sessions.
+        return merged
+
+    def on_timer(self, timer, ctx: Context) -> None:
+        if timer.namespace != "session":
+            return
+        state = ctx.state(self._descriptor)
+        start = timer.payload
+        entry = state.get(start)
+        if entry is None:
+            return  # session was merged away
+        end, acc = entry
+        if end > timer.fire_time + 1e-12:
+            return  # session was extended; a later timer will fire it
+        result = self.aggregator.result(acc)
+        window = TimeWindow(start, end)
+        if self.result_fn is not None:
+            result = self.result_fn(ctx.current_key, window, result)
+        ctx.collect(result, timestamp=end - 1e-6)
+        state.remove(start)

@@ -1,0 +1,18 @@
+"""Runtime: tasks, job manager, cluster, control plane."""
+
+from repro.runtime.cluster import Cluster, ClusterNode
+from repro.runtime.jobmanager import JobManager, VertexRuntime, task_name_of
+from repro.runtime.rpc import ControlMessage, ControlQueue
+from repro.runtime.task import StreamTask, TaskStatus
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "ControlMessage",
+    "ControlQueue",
+    "JobManager",
+    "StreamTask",
+    "TaskStatus",
+    "VertexRuntime",
+    "task_name_of",
+]

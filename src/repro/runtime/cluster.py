@@ -1,0 +1,68 @@
+"""Cluster model: nodes, slots, and placement.
+
+Mirrors the paper's deployment (Section 7.1): many TaskManagers with one
+slot each, spread over nodes.  Placement matters for standby tasks
+(Section 6.3): anti-affinity keeps a standby off the node of the task it
+mirrors, trading resource use for failure safety.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import JobError
+
+
+class ClusterNode:
+    """One machine hosting task slots."""
+
+    def __init__(self, node_id: int, slots: int):
+        self.node_id = node_id
+        self.slots = slots
+        self.occupants: Set[str] = set()
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - len(self.occupants)
+
+    def __repr__(self) -> str:
+        return f"ClusterNode({self.node_id}, {len(self.occupants)}/{self.slots})"
+
+
+class Cluster:
+    """Slot allocation with optional anti-affinity."""
+
+    def __init__(self, num_nodes: int, slots_per_node: int = 2):
+        if num_nodes < 1:
+            raise JobError("cluster needs at least one node")
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(i, slots_per_node) for i in range(num_nodes)
+        ]
+        self._placement: Dict[str, int] = {}
+
+    def allocate(self, occupant: str, avoid_nodes: Optional[Set[int]] = None) -> int:
+        """Place ``occupant`` on the least-loaded allowed node; returns the
+        node id.  Falls back to ignoring ``avoid_nodes`` when the cluster is
+        too full to honour anti-affinity (a warning-level compromise the
+        paper's Section 6.3 trade-off discussion allows)."""
+        avoid = avoid_nodes or set()
+        candidates = [n for n in self.nodes if n.free_slots > 0 and n.node_id not in avoid]
+        if not candidates:
+            candidates = [n for n in self.nodes if n.free_slots > 0]
+        if not candidates:
+            raise JobError("cluster out of slots")
+        node = max(candidates, key=lambda n: (n.free_slots, -n.node_id))
+        node.occupants.add(occupant)
+        self._placement[occupant] = node.node_id
+        return node.node_id
+
+    def release(self, occupant: str) -> None:
+        node_id = self._placement.pop(occupant, None)
+        if node_id is not None:
+            self.nodes[node_id].occupants.discard(occupant)
+
+    def node_of(self, occupant: str) -> Optional[int]:
+        return self._placement.get(occupant)
+
+    def occupants_of_node(self, node_id: int) -> Set[str]:
+        return set(self.nodes[node_id].occupants)

@@ -1,0 +1,513 @@
+"""Job manager: deployment, checkpoint coordination, failure detection.
+
+Builds the physical execution graph (tasks, links, gates, writers) from a
+logical :class:`~repro.graph.logical.JobGraph`, drives periodic aligned
+checkpoints (Section 3.2), detects failures (heartbeat timeout for vanilla
+Flink, connection-reset for Clonos), and delegates recovery to the mode's
+coordinator from :mod:`repro.ft.coordinators`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.config import FaultToleranceMode, JobConfig
+from repro.core.causal_log import CausalLogManager
+from repro.core.inflight_log import InFlightLog
+from repro.core.services import CausalServices, NaiveServices
+from repro.core.standby import StandbyState
+from repro.errors import JobError
+from repro.external.dfs import DistributedFileSystem
+from repro.external.http import ExternalService
+from repro.graph.logical import FORWARD, JobGraph, LogicalEdge, LogicalNode
+from repro.net.buffer import BufferPool
+from repro.net.gate import InputChannel, InputGate
+from repro.net.link import NetworkLink
+from repro.net.partitioner import (
+    BroadcastPartitioner,
+    ForwardPartitioner,
+    HashPartitioner,
+    RebalancePartitioner,
+)
+from repro.net.writer import OutputChannel, RecordWriter
+from repro.runtime.cluster import Cluster
+from repro.runtime.task import InputInfo, OutputEdgeInfo, StreamTask, TaskStatus
+from repro.sim.core import Environment
+from repro.sim.queues import Signal
+from repro.sim.rng import RandomStreams
+from repro.state.snapshot import SnapshotStore, TaskSnapshot
+
+
+def task_name_of(vertex_name: str, subtask: int) -> str:
+    return f"{vertex_name}[{subtask}]"
+
+
+class VertexRuntime:
+    """Stable physical identity of one subtask across task incarnations."""
+
+    def __init__(self, node: LogicalNode, subtask_index: int):
+        self.node = node
+        self.subtask_index = subtask_index
+        self.name = task_name_of(node.name, subtask_index)
+        #: Flattened input descriptors: (flat_idx, input_index, upstream task
+        #: name, link, upstream_flat_out_idx) in deterministic order.
+        self.in_links: List[Tuple[int, int, str, NetworkLink, int]] = []
+        #: Per output edge: list of (flat_channel_idx, downstream task name,
+        #: link, edge).
+        self.out_links: List[Tuple[LogicalEdge, List[Tuple[int, str, NetworkLink]]]] = []
+        self.task: Optional[StreamTask] = None
+        self.standby: Optional[StandbyState] = None
+        self.node_id: Optional[int] = None
+
+    @property
+    def is_source(self) -> bool:
+        return self.node.is_source
+
+    @property
+    def is_sink(self) -> bool:
+        return self.node.is_sink
+
+    def upstream_names(self) -> List[str]:
+        return [up for (_f, _i, up, _l) in self.in_links]
+
+    def downstream_names(self) -> List[str]:
+        return [down for (_e, chans) in self.out_links for (_f, down, _l) in chans]
+
+    def __repr__(self) -> str:
+        return f"VertexRuntime({self.name})"
+
+
+class JobManager:
+    """Owns one job's physical graph and its fault-tolerance machinery."""
+
+    def __init__(
+        self,
+        env: Environment,
+        graph: JobGraph,
+        config: JobConfig,
+        external: Optional[ExternalService] = None,
+        cluster: Optional[Cluster] = None,
+    ):
+        config.validate()
+        self.env = env
+        self.graph = graph
+        self.config = config
+        self.cost = config.cost
+        self.external = external
+        self.streams = RandomStreams(config.seed)
+        self.dfs = DistributedFileSystem(env, config.cost)
+        self.snapshot_store = SnapshotStore(
+            self.dfs, incremental=config.incremental_checkpoints
+        )
+        self.cluster = cluster or Cluster(
+            num_nodes=max(4, graph.total_tasks), slots_per_node=2
+        )
+        self.vertices: Dict[str, VertexRuntime] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+
+        # Checkpoint coordination state.
+        self.checkpoint_counter = 0
+        self.completed_checkpoint = 0
+        self._pending_checkpoint: Optional[int] = None
+        self._pending_acks: Set[str] = set()
+        self._aborted_checkpoints: Set[int] = set()
+        self._snapshots_of_pending: Dict[str, TaskSnapshot] = {}
+        self.checkpoints_completed: List[Tuple[int, float]] = []
+
+        # Failure / recovery state.
+        self.dead_tasks: Set[str] = set()
+        self.recovering_tasks: Set[str] = set()
+        self.coordinator = None  # set in deploy()
+        self.failures_injected: List[Tuple[float, str]] = []
+        self.recovery_events: List[Tuple[float, str, str]] = []
+
+        self._finished_tasks: Set[str] = set()
+        self.done_signal = Signal(env)
+        self._checkpoint_proc = None
+        #: (task_name, exception) for tasks that crashed on a bug (as opposed
+        #: to injected failures); surfaced by run_until_done.
+        self.crashed: List[Tuple[str, BaseException]] = []
+
+    # -- deployment --------------------------------------------------------------------
+
+    def deploy(self) -> None:
+        """Build the physical graph, start every task, start coordination."""
+        from repro.ft.coordinators import make_coordinator
+
+        self._build_physical()
+        self.coordinator = make_coordinator(self)
+        for vertex in self.vertices.values():
+            self._place(vertex)
+            task = self._build_task(vertex)
+            vertex.task = task
+            task.start()
+        if self._uses_standbys():
+            for vertex in self.vertices.values():
+                avoid = {vertex.node_id} if self.config.clonos.standby_anti_affinity else set()
+                standby_node = self.cluster.allocate(f"standby:{vertex.name}", avoid)
+                vertex.standby = StandbyState(
+                    self.env, self.cost, vertex.name, standby_node
+                )
+        self._checkpoint_proc = self.env.process(
+            self._checkpoint_coordinator(), name="checkpoint-coordinator"
+        )
+
+    def _uses_standbys(self) -> bool:
+        return (
+            self.config.mode
+            in (
+                FaultToleranceMode.CLONOS,
+                FaultToleranceMode.DIVERGENT,
+                FaultToleranceMode.SEEP,
+                FaultToleranceMode.GAP_RECOVERY,
+            )
+            and self.config.clonos.standby_tasks
+        )
+
+    def _place(self, vertex: VertexRuntime) -> None:
+        vertex.node_id = self.cluster.allocate(vertex.name)
+
+    def _build_physical(self) -> None:
+        for node in self.graph.topological_order():
+            for subtask in range(node.parallelism):
+                vertex = VertexRuntime(node, subtask)
+                self.vertices[vertex.name] = vertex
+        # Wire links edge by edge.
+        for node in self.graph.topological_order():
+            for edge in node.outputs:
+                self._wire_edge(edge)
+        self._adjacency = {
+            name: vertex.downstream_names() for name, vertex in self.vertices.items()
+        }
+
+    def _wire_edge(self, edge: LogicalEdge) -> None:
+        up, down = edge.upstream, edge.downstream
+        for i in range(up.parallelism):
+            sender = self.vertices[task_name_of(up.name, i)]
+            targets = (
+                [i]
+                if edge.partitioning == FORWARD
+                else list(range(down.parallelism))
+            )
+            channels: List[Tuple[int, str, NetworkLink]] = []
+            flat_base = sum(len(chans) for (_e, chans) in sender.out_links)
+            for pos, j in enumerate(targets):
+                receiver = self.vertices[task_name_of(down.name, j)]
+                link = NetworkLink(
+                    self.env,
+                    self.cost,
+                    name=f"{sender.name}->{receiver.name}",
+                )
+                flat_idx = flat_base + pos
+                channels.append((flat_idx, receiver.name, link))
+                in_flat = len(receiver.in_links)
+                receiver.in_links.append(
+                    (in_flat, edge.input_index, sender.name, link, flat_idx)
+                )
+            sender.out_links.append((edge, channels))
+
+    def _make_partitioner(self, edge: LogicalEdge, subtask_index: int):
+        if edge.partitioning == "forward":
+            return ForwardPartitioner(subtask_index)
+        if edge.partitioning == "hash":
+            return HashPartitioner()
+        if edge.partitioning == "rebalance":
+            return RebalancePartitioner()
+        if edge.partitioning == "broadcast":
+            return BroadcastPartitioner()
+        raise JobError(f"unknown partitioning {edge.partitioning}")
+
+    def _build_task(self, vertex: VertexRuntime) -> StreamTask:
+        node = vertex.node
+        operator = node.factory()
+        task = StreamTask(
+            self.env,
+            self.config,
+            vertex.name,
+            node.name,
+            vertex.subtask_index,
+            node.parallelism,
+            operator,
+            self,
+            is_source=node.is_source,
+            is_sink=node.is_sink,
+        )
+        task.node_id = vertex.node_id
+
+        num_out_channels = sum(len(chans) for (_e, chans) in vertex.out_links)
+        mode = self.config.mode
+        causal: Optional[CausalLogManager] = None
+        inflight: Optional[InFlightLog] = None
+        dsd = self.config.clonos.determinant_sharing_depth
+        if mode is FaultToleranceMode.CLONOS:
+            inflight = InFlightLog(
+                self.env,
+                self.cost,
+                self.config.clonos.inflight_pool_bytes,
+                self.config.clonos.spill_policy,
+                self.config.clonos.spill_threshold_fraction,
+                name=vertex.name,
+            ) if num_out_channels else None
+            if dsd is None or dsd > 0:
+                causal = CausalLogManager(vertex.name, num_out_channels, dsd)
+        elif mode in (FaultToleranceMode.DIVERGENT, FaultToleranceMode.SEEP):
+            if num_out_channels:
+                inflight = InFlightLog(
+                    self.env,
+                    self.cost,
+                    self.config.clonos.inflight_pool_bytes,
+                    self.config.clonos.spill_policy,
+                    self.config.clonos.spill_threshold_fraction,
+                    name=vertex.name,
+                )
+        if causal is not None:
+            services = CausalServices(
+                self.env,
+                causal,
+                task.recovery,
+                self.external,
+                vertex.name,
+                root_seed=self.config.seed,
+                timestamp_granularity=self.config.clonos.timestamp_granularity,
+            )
+            services.availability_mode = not self.config.clonos.fallback_to_global
+        else:
+            services = NaiveServices(
+                self.env, self.external, vertex.name, root_seed=self.config.seed
+            )
+        task.attach_ft(services, causal, inflight)
+        task.seep_dedup = mode is FaultToleranceMode.SEEP
+        task.make_context()
+
+        # Inputs.
+        in_channels: List[InputChannel] = []
+        infos: List[InputInfo] = []
+        for flat_idx, input_index, upstream_name, link, _up_flat in vertex.in_links:
+            channel = InputChannel(
+                self.env,
+                flat_idx,
+                capacity=self.cost.input_queue_buffers,
+                upstream_name=upstream_name,
+            )
+            link.attach_receiver(channel)
+            in_channels.append(channel)
+            infos.append(InputInfo(flat_idx, input_index, upstream_name, link))
+        task.attach_inputs(InputGate(self.env, in_channels), infos)
+
+        # Outputs: one shared output pool per task, one writer per edge.
+        out_edges: List[OutputEdgeInfo] = []
+        if num_out_channels:
+            pool = BufferPool(
+                self.env,
+                self.cost.output_pool_buffers
+                * self.cost.buffer_size_bytes
+                * num_out_channels,
+                self.cost.buffer_size_bytes,
+                name=f"out:{vertex.name}",
+            )
+            causal_ctx = task.causal_output_context()
+            for edge, channels in vertex.out_links:
+                out_channels = [
+                    OutputChannel(
+                        self.env,
+                        self.cost,
+                        flat_idx,
+                        link,
+                        pool,
+                        task.charge,
+                        causal_ctx=causal_ctx,
+                        inflight_log=inflight,
+                    )
+                    for (flat_idx, _down, link) in channels
+                ]
+                writer = RecordWriter(
+                    self.env,
+                    self.cost,
+                    out_channels,
+                    self._make_partitioner(edge, vertex.subtask_index),
+                    task.charge,
+                )
+                out_edges.append(
+                    OutputEdgeInfo(
+                        writer,
+                        edge.key_selector,
+                        [down for (_f, down, _l) in channels],
+                    )
+                )
+        task.attach_outputs(out_edges)
+        return task
+
+    # -- checkpoint coordination ----------------------------------------------------------
+
+    def _checkpoint_coordinator(self):
+        while True:
+            yield self.env.timeout(self.config.checkpoint_interval)
+            if self._pending_checkpoint is not None:
+                continue  # no concurrent checkpoints (Section 6.4)
+            if self.dead_tasks or self.recovering_tasks:
+                continue  # pause during recovery
+            if self._job_finished():
+                return
+            self.checkpoint_counter += 1
+            self._pending_checkpoint = self.checkpoint_counter
+            self._pending_acks = set()
+            self._snapshots_of_pending = {}
+            for vertex in self.vertices.values():
+                if vertex.is_source and vertex.task is not None:
+                    vertex.task.control.send(
+                        "inject_barrier", self._pending_checkpoint
+                    )
+
+    def snapshot_taken(self, task: StreamTask, snapshot: TaskSnapshot) -> None:
+        """A task took its local snapshot; persist it asynchronously, then
+        count the ack."""
+        self.env.process(
+            self._upload_snapshot(task, snapshot),
+            name=f"upload:{task.name}:{snapshot.checkpoint_id}",
+        )
+
+    def _upload_snapshot(self, task: StreamTask, snapshot: TaskSnapshot):
+        delta = task.backend.incremental_delta_bytes()
+        yield from self.snapshot_store.save(snapshot, delta_bytes=delta)
+        self._ack_checkpoint(task.name, snapshot)
+
+    def _ack_checkpoint(self, task_name: str, snapshot: TaskSnapshot) -> None:
+        cid = snapshot.checkpoint_id
+        if cid in self._aborted_checkpoints or cid != self._pending_checkpoint:
+            return
+        self._pending_acks.add(task_name)
+        self._snapshots_of_pending[task_name] = snapshot
+        if self._pending_acks >= set(self.vertices.keys()) - self._finished_tasks:
+            self._complete_checkpoint(cid)
+
+    def _complete_checkpoint(self, checkpoint_id: int) -> None:
+        self._pending_checkpoint = None
+        self.completed_checkpoint = checkpoint_id
+        self.checkpoints_completed.append((checkpoint_id, self.env.now))
+        snapshots = dict(self._snapshots_of_pending)
+        self._snapshots_of_pending = {}
+        self.snapshot_store.discard_older_than(checkpoint_id)
+        for vertex in self.vertices.values():
+            if vertex.task is not None and vertex.task.status in (
+                TaskStatus.RUNNING,
+                TaskStatus.RECOVERING,
+            ):
+                vertex.task.control.send("checkpoint_complete", checkpoint_id)
+            # State-snapshot dispatch to standbys (Section 6.4).
+            if vertex.standby is not None and vertex.name in snapshots:
+                self.env.process(
+                    vertex.standby.dispatch(snapshots[vertex.name]),
+                    name=f"standby-dispatch:{vertex.name}",
+                )
+
+    def abort_pending_checkpoint(self) -> None:
+        if self._pending_checkpoint is not None:
+            self._aborted_checkpoints.add(self._pending_checkpoint)
+            self._pending_checkpoint = None
+            self._snapshots_of_pending = {}
+
+    # -- failure handling -------------------------------------------------------------------
+
+    def detection_delay(self) -> float:
+        """How long until the failure is noticed (Section 7.1 heartbeats for
+        vanilla Flink; connection reset for local-recovery modes)."""
+        if self.config.mode is FaultToleranceMode.GLOBAL_ROLLBACK:
+            return self.cost.heartbeat_timeout
+        return self.cost.connection_failure_detection
+
+    def kill_task(self, task_name: str, _attempts: int = 0) -> None:
+        """Failure injection entry point.
+
+        If the victim is not currently running (e.g. the previous failure's
+        global restart is still redeploying it), the injection is deferred
+        until it is — the experiment's "three sequential failures" really
+        means three failures of live tasks.
+        """
+        vertex = self.vertices[task_name]
+        if vertex.task is None or vertex.task.status is not TaskStatus.RUNNING:
+            if task_name in self._finished_tasks or _attempts > 600:
+                raise JobError(f"cannot kill {task_name}: not running")
+            self.env.schedule_callback(
+                0.5, lambda: self.kill_task(task_name, _attempts + 1)
+            )
+            return
+        self.failures_injected.append((self.env.now, task_name))
+        vertex.task.fail()
+        self.dead_tasks.add(task_name)
+        self.cluster.release(task_name)
+        # Connection reset: surviving upstreams observe the broken channel
+        # instantly and park further output in their in-flight logs (§6.1's
+        # unsent parking) until the replacement requests replay.  Without
+        # this, live buffers would race ahead of the replayed ones.
+        for _in_flat, _inp, up_name, _link, up_flat in vertex.in_links:
+            up_task = self.vertices[up_name].task
+            if (
+                up_task is not None
+                and up_task.status is not TaskStatus.FAILED
+                and up_task.inflight is not None
+            ):
+                up_task.output_channel_by_flat_index(up_flat).replaying = True
+        self.env.schedule_callback(
+            self.detection_delay(), lambda name=task_name: self._on_detected(name)
+        )
+
+    def kill_node(self, node_id: int) -> None:
+        """Kill every running task placed on a cluster node."""
+        for occupant in sorted(self.cluster.occupants_of_node(node_id)):
+            if occupant in self.vertices:
+                vertex = self.vertices[occupant]
+                if vertex.task is not None and vertex.task.status is TaskStatus.RUNNING:
+                    self.kill_task(occupant)
+
+    def _on_detected(self, task_name: str) -> None:
+        if task_name not in self.dead_tasks:
+            return  # already recovered via a broader action (global restart)
+        self.abort_pending_checkpoint()
+        self.recovery_events.append((self.env.now, "detected", task_name))
+        self.coordinator.on_failure_detected(task_name)
+
+    # -- task callbacks ----------------------------------------------------------------------
+
+    def task_recovered(self, task: StreamTask) -> None:
+        self.recovering_tasks.discard(task.name)
+        self.recovery_events.append((self.env.now, "recovered", task.name))
+
+    def task_crashed(self, task: StreamTask, exc: BaseException) -> None:
+        self.crashed.append((task.name, exc))
+        self.done_signal.pulse()
+
+    def task_finished(self, task: StreamTask) -> None:
+        self._finished_tasks.add(task.name)
+        if self._job_finished():
+            self.done_signal.pulse()
+
+    def _job_finished(self) -> bool:
+        sinks = [v.name for v in self.vertices.values() if v.is_sink]
+        return bool(sinks) and all(name in self._finished_tasks for name in sinks)
+
+    # -- harness helpers -------------------------------------------------------------------------
+
+    def wait_done(self):
+        """Generator: waits until every sink finished (finite jobs only)."""
+        while not self._job_finished():
+            yield self.done_signal.wait()
+
+    def run_until_done(self, limit: float = 3600.0) -> float:
+        """Drive the simulation until the job finishes; returns the time."""
+        self.env.process(self.wait_done(), name="wait-done")
+        deadline = self.env.now + limit
+        while not self._job_finished():
+            if self.crashed:
+                name, exc = self.crashed[0]
+                raise JobError(f"task {name} crashed: {exc!r}") from exc
+            if self.env.peek() > deadline:
+                raise JobError(f"job did not finish within {limit}s of simulated time")
+            self.env.step()
+        return self.env.now
+
+    def task_of(self, task_name: str) -> StreamTask:
+        return self.vertices[task_name].task
+
+    @property
+    def adjacency(self) -> Dict[str, List[str]]:
+        return self._adjacency

@@ -1,0 +1,66 @@
+"""Control plane: RPC-delivered control messages.
+
+Tasks own a :class:`ControlQueue`; the job manager (and peer tasks, for
+replay/determinant requests) send messages that arrive after the RPC
+latency.  Handling a control message at a particular point in the record
+stream is itself nondeterministic (Section 4.1, Checkpoints & Received
+RPCs) — the task-side handlers log the appropriate determinants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, NamedTuple
+
+from repro.config import CostModel
+from repro.sim.core import Environment
+from repro.sim.queues import Signal
+
+
+class ControlMessage(NamedTuple):
+    kind: str
+    payload: Any
+    sender: str
+
+
+class ControlQueue:
+    """A task's inbound control mailbox."""
+
+    def __init__(self, env: Environment, cost: CostModel, owner: str):
+        self.env = env
+        self.cost = cost
+        self.owner = owner
+        self.signal = Signal(env)
+        self._messages: Deque[ControlMessage] = deque()
+        self.closed = False
+
+    def send(self, kind: str, payload: Any = None, sender: str = "jobmanager",
+             immediate: bool = False) -> None:
+        """Deliver a message after the RPC latency (or immediately for
+        intra-process notifications)."""
+        message = ControlMessage(kind, payload, sender)
+        if immediate:
+            self._deliver(message)
+        else:
+            self.env.schedule_callback(
+                self.cost.rpc_latency, lambda m=message: self._deliver(m)
+            )
+
+    def _deliver(self, message: ControlMessage) -> None:
+        if self.closed:
+            return  # RPCs to dead tasks vanish
+        self._messages.append(message)
+        self.signal.pulse()
+
+    def poll(self):
+        return self._messages.popleft() if self._messages else None
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def close(self) -> None:
+        self.closed = True
+        self._messages.clear()
+
+    def reopen(self) -> None:
+        self.closed = False

@@ -1,0 +1,795 @@
+"""The stream task: a Flink-style task executor on the simulation kernel.
+
+One :class:`StreamTask` hosts one operator subtask.  Its mailbox loop
+multiplexes control messages (RPCs), due processing timers, and input
+buffers — the three asynchronous inputs whose interleaving is the
+nondeterminism Clonos logs (Section 4).
+
+The same loop runs both *normal operation* and *causal recovery*: when the
+attached :class:`~repro.core.recovery.RecoveryManager` is active, control
+flow is dictated by the determinant log (which channel to consume, when
+timers fire, where the source cut epochs) instead of by arrival order and
+the wall clock, and the causal log is rebuilt as replay proceeds.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, NamedTuple, Optional
+
+from repro.config import FaultToleranceMode, JobConfig
+from repro.core.causal_log import CausalLogManager
+from repro.core.determinants import (
+    BarrierInjectDeterminant,
+    BufferSizeDeterminant,
+    OrderDeterminant,
+    TimerFiredDeterminant,
+    WatermarkEmitDeterminant,
+)
+from repro.core.inflight_log import InFlightLog
+from repro.core.recovery import RecoveryManager
+from repro.errors import DeterminantLogError, RecoveryError
+from repro.graph.elements import (
+    CheckpointBarrier,
+    EndOfStream,
+    StreamRecord,
+    Watermark,
+)
+from repro.net.buffer import NetworkBuffer
+from repro.net.gate import InputGate
+from repro.net.writer import CausalOutputContext, OutputChannel, RecordWriter
+from repro.operators.base import Context, Operator, Services
+from repro.runtime.rpc import ControlQueue
+from repro.sim.core import Environment, Interrupt
+from repro.state.backend import HashMapStateBackend
+from repro.state.snapshot import TaskSnapshot
+from repro.timing.timers import Timer, TimerService
+from repro.timing.watermarks import WatermarkTracker
+
+
+class TaskStatus(enum.Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    RECOVERING = "recovering"
+    FAILED = "failed"
+    FINISHED = "finished"
+
+
+class InputInfo(NamedTuple):
+    """Metadata of one flattened input channel."""
+
+    flat_index: int
+    input_index: int  # which logical input of the operator
+    upstream_task: str  # e.g. "map[2]"
+    link: Any  # NetworkLink
+
+
+class OutputEdgeInfo(NamedTuple):
+    """One output edge: its writer plus routing metadata."""
+
+    writer: RecordWriter
+    key_selector: Optional[Callable[[Any], Any]]
+    downstream_tasks: List[str]  # per channel position
+
+
+class _TaskCausalContext(CausalOutputContext):
+    """Adapter feeding the writer's buffer-cut events into the causal log."""
+
+    def __init__(self, causal: CausalLogManager):
+        self.causal = causal
+
+    def on_buffer_cut(self, channel_index, seq, num_elements, size_bytes, reason, epoch):
+        self.causal.append_queue(
+            channel_index,
+            BufferSizeDeterminant(seq, num_elements, size_bytes),
+            epoch=epoch,
+        )
+
+    def delta_for_dispatch(self, channel_index):
+        return self.causal.delta_for_dispatch(channel_index)
+
+
+class StreamTask:
+    """One running (or standby-activated) subtask."""
+
+    SOURCE_BATCH = 64
+
+    def __init__(
+        self,
+        env: Environment,
+        config: JobConfig,
+        name: str,
+        vertex_name: str,
+        subtask_index: int,
+        num_subtasks: int,
+        operator: Operator,
+        jobmanager,
+        is_source: bool,
+        is_sink: bool,
+    ):
+        self.env = env
+        self.config = config
+        self.cost = config.cost
+        self.name = name
+        self.vertex_name = vertex_name
+        self.subtask_index = subtask_index
+        self.num_subtasks = num_subtasks
+        self.operator = operator
+        self.jm = jobmanager
+        self.is_source = is_source
+        self.is_sink = is_sink
+
+        self.backend = HashMapStateBackend()
+        self.timers = TimerService(env)
+        self.control = ControlQueue(env, self.cost, name)
+        self.recovery = RecoveryManager(name)
+        self.causal: Optional[CausalLogManager] = None
+        self.inflight: Optional[InFlightLog] = None
+        self.services: Optional[Services] = None
+
+        self.gate: Optional[InputGate] = None
+        self.input_infos: List[InputInfo] = []
+        self.out_edges: List[OutputEdgeInfo] = []
+
+        self.epoch = 0
+        self.offset_in_epoch = 0
+        self.records_processed = 0
+        self.status = TaskStatus.CREATED
+
+        self._cpu_debt = 0.0
+        self._aligning: Optional[int] = None
+        self._barriers_received: set = set()
+        self._channels_done: set = set()
+        self._last_wm_check = 0.0
+        self._acked_checkpoints: set = set()
+        self._main_proc = None
+        self._flusher_proc = None
+        self._service_procs: list = []
+        self.ctx: Optional[Context] = None
+        self.node_id: Optional[int] = None
+
+        #: SEEP-baseline receiver-side deduplication (Table 1): count records
+        #: per (channel, epoch); on upstream replay, drop the first N
+        #: re-received records.  Correct iff upstream regeneration is
+        #: deterministic — which is exactly the assumption Clonos removes.
+        self.seep_dedup = False
+        self._seep_counts: Dict[int, Dict[int, int]] = {}
+        self._seep_channel_epoch: Dict[int, int] = {}
+        self._seep_drop: Dict[int, int] = {}
+        self.seep_records_dropped = 0
+
+    # -- wiring (done by deployment) ------------------------------------------------
+
+    def attach_inputs(self, gate: InputGate, infos: List[InputInfo]) -> None:
+        self.gate = gate
+        self.input_infos = infos
+        self._wm_tracker = WatermarkTracker(max(1, len(infos)))
+
+    def attach_outputs(self, out_edges: List[OutputEdgeInfo]) -> None:
+        self.out_edges = out_edges
+
+    def attach_ft(
+        self,
+        services: Services,
+        causal: Optional[CausalLogManager],
+        inflight: Optional[InFlightLog],
+    ) -> None:
+        self.services = services
+        self.causal = causal
+        self.inflight = inflight
+
+    def make_context(self) -> Context:
+        self.ctx = Context(
+            self.name,
+            self.subtask_index,
+            self.num_subtasks,
+            self.backend,
+            self.timers,
+            self.services,
+            env=self.env,
+        )
+        return self.ctx
+
+    def causal_output_context(self) -> Optional[CausalOutputContext]:
+        return _TaskCausalContext(self.causal) if self.causal is not None else None
+
+    @property
+    def all_output_channels(self) -> List[OutputChannel]:
+        return [ch for edge in self.out_edges for ch in edge.writer.channels]
+
+    def output_channel_by_flat_index(self, flat_index: int) -> OutputChannel:
+        for channel in self.all_output_channels:
+            if channel.index == flat_index:
+                return channel
+        raise RecoveryError(f"{self.name}: no output channel {flat_index}")
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def start(
+        self,
+        snapshot: Optional[TaskSnapshot] = None,
+        recovery_bundle=None,
+        replay_from_epoch: int = 0,
+    ) -> None:
+        """Begin execution, optionally restoring state / entering recovery."""
+        if snapshot is not None:
+            self._restore(snapshot)
+        if self.services is not None and hasattr(self.services, "reseed_for_epoch"):
+            if recovery_bundle is None:
+                self.services.reseed_for_epoch(self.epoch)
+        self.operator.open(self.ctx)
+        if recovery_bundle is not None:
+            self.recovery.load(recovery_bundle, replay_from_epoch)
+            self._prepare_replay()
+            self.status = TaskStatus.RECOVERING
+        else:
+            self.timers.arm_parked()
+            self.status = TaskStatus.RUNNING
+        self._last_wm_check = self.env.now
+        loop = self._source_loop() if self.is_source else self._data_loop()
+        self._main_proc = self.env.process(loop, name=f"task:{self.name}")
+        if self.out_edges:
+            self._flusher_proc = self.env.process(
+                self._flusher(), name=f"flusher:{self.name}"
+            )
+
+    def _restore(self, snapshot: TaskSnapshot) -> None:
+        self.backend.restore(snapshot.keyed_state)
+        self.operator.restore(snapshot.operator_state)
+        self.timers.restore(snapshot.timer_state)
+        if snapshot.watermark_state is not None and self.input_infos:
+            self._wm_tracker.restore(snapshot.watermark_state)
+            self.ctx.current_watermark = self._wm_tracker.current
+        for edge, state in zip(self.out_edges, snapshot.network_state["edges"]):
+            edge.writer.restore_state(state)
+        self.epoch = snapshot.checkpoint_id
+        self.offset_in_epoch = 0
+        if self.causal is not None:
+            self.causal.current_epoch = snapshot.checkpoint_id
+
+    def _prepare_replay(self) -> None:
+        """Step 6 prep: pre-load forced buffer cuts so the network threads
+        rebuild identical buffers (Section 5.2)."""
+        if self.services is not None and hasattr(self.services, "replay_reseed"):
+            if self.recovery.has_value("rng"):
+                self.services.replay_reseed()
+        for channel in self.all_output_channels:
+            cuts = self.recovery.forced_cuts_for_channel(channel.index)
+            channel.forced_cuts.clear()
+            channel.forced_cuts.extend(cuts)
+        if not self.recovery.active:
+            self._finish_recovery()
+
+    def fail(self) -> None:
+        """Failure injection: the task process dies instantly and silently."""
+        self.status = TaskStatus.FAILED
+        for proc in (self._main_proc, self._flusher_proc, *self._service_procs):
+            if proc is not None and proc.is_alive:
+                proc.kill()
+        self.control.close()
+        if self.gate is not None:
+            for info in self.input_infos:
+                info.link.detach_receiver()
+            self.gate.close()
+        for edge in self.out_edges:
+            for channel in edge.writer.channels:
+                channel.link.reset()
+
+    # -- cpu accounting ----------------------------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        self._cpu_debt += seconds
+
+    def _pay(self):
+        if self._cpu_debt > 0:
+            debt, self._cpu_debt = self._cpu_debt, 0.0
+            yield self.env.timeout(debt)
+
+    # -- main loops --------------------------------------------------------------------------
+
+    def _wait_for_work(self):
+        waits = [self.control.signal.wait(), self.timers.due_signal.wait()]
+        if self.gate is not None:
+            waits.append(self.gate.arrival_signal.wait())
+        return self.env.any_of(waits)
+
+    def _data_loop(self):
+        try:
+            while True:
+                message = self.control.poll()
+                if message is not None:
+                    yield from self._handle_control(message)
+                    continue
+                if self.recovery.active:
+                    yield from self._data_replay_step()
+                    continue
+                if self.timers.has_due():
+                    yield from self._fire_timer(self.timers.pop_due())
+                    continue
+                item = self.gate.poll_buffer()
+                if item is not None:
+                    yield from self._process_buffer(item[0], item[1])
+                    yield from self._pay()
+                    if len(self._channels_done) == len(self.input_infos):
+                        yield from self._finish()
+                        return
+                    continue
+                yield self._wait_for_work()
+        except Interrupt:
+            return
+        except Exception as exc:  # noqa: BLE001 — surface bugs to the JM
+            self.jm.task_crashed(self, exc)
+            raise
+
+    def _source_loop(self):
+        try:
+            while True:
+                message = self.control.poll()
+                if message is not None:
+                    yield from self._handle_control(message)
+                    continue
+                if self.recovery.active:
+                    yield from self._source_replay_step()
+                    continue
+                if self.timers.has_due():
+                    yield from self._fire_timer(self.timers.pop_due())
+                    continue
+                records, next_arrival = self.operator.poll(self.ctx, self.SOURCE_BATCH)
+                if records:
+                    for record in records:
+                        self.offset_in_epoch += 1
+                        self.records_processed += 1
+                        self.charge(self.cost.record_cpu_cost)
+                        yield from self._emit_record(record)
+                    yield from self._maybe_emit_watermark()
+                    yield from self._pay()
+                    continue
+                if next_arrival is None:
+                    yield from self._finish_source()
+                    return
+                delay = max(next_arrival - self.env.now, 1e-4)
+                yield self.env.any_of(
+                    [
+                        self.env.timeout(delay),
+                        self.control.signal.wait(),
+                        self.timers.due_signal.wait(),
+                    ]
+                )
+        except Interrupt:
+            return
+        except Exception as exc:  # noqa: BLE001 — surface bugs to the JM
+            self.jm.task_crashed(self, exc)
+            raise
+
+    def _flusher(self):
+        """The output-flusher thread: time-based (nondeterministic) cuts."""
+        try:
+            while True:
+                yield self.env.timeout(self.cost.flush_interval)
+                if self.recovery.active:
+                    continue
+                for edge in self.out_edges:
+                    for channel in edge.writer.channels:
+                        flush_gen = channel.try_flush_from_timer()
+                        if flush_gen is not None:
+                            yield from flush_gen
+        except Interrupt:
+            return
+
+    # -- normal-path processing ------------------------------------------------------------
+
+    def _process_buffer(self, channel_index: int, buffer: NetworkBuffer):
+        self.charge(
+            self.cost.buffer_overhead_cost
+            + self.cost.serialize_time(buffer.size_bytes)
+        )
+        if self.causal is not None:
+            if buffer.delta:
+                # Store the piggybacked determinants BEFORE processing the
+                # records that depend on them (always-no-orphans, Section 5.3).
+                self.causal.merge_delta(
+                    buffer.delta, self.input_infos[channel_index].upstream_task
+                )
+                entries = sum(len(s[4]) for s in buffer.delta)
+                self.charge(
+                    self.cost.serialize_time(buffer.delta_bytes)
+                    + entries * self.cost.determinant_cpu_cost
+                )
+            self.causal.append_main(OrderDeterminant(channel_index, buffer.seq))
+            self.charge(self.cost.determinant_cpu_cost)
+        for element in buffer.elements:
+            if element.is_record:
+                if self.seep_dedup:
+                    epoch = self._seep_channel_epoch.get(channel_index, 0)
+                    counts = self._seep_counts.setdefault(channel_index, {})
+                    counts[epoch] = counts.get(epoch, 0) + 1
+                    if self._seep_drop.get(channel_index, 0) > 0:
+                        self._seep_drop[channel_index] -= 1
+                        self.seep_records_dropped += 1
+                        continue
+                yield from self._process_record(element, channel_index)
+            elif element.is_watermark:
+                yield from self._handle_watermark(channel_index, element.timestamp)
+            elif element.is_barrier:
+                if self.seep_dedup:
+                    self._seep_channel_epoch[channel_index] = element.checkpoint_id
+                yield from self._handle_barrier(channel_index, element)
+            elif isinstance(element, EndOfStream):
+                self._channels_done.add(channel_index)
+        if buffer.recycle_on_consume:
+            buffer.recycle()
+
+    def _process_record(self, record: StreamRecord, channel_index: int):
+        self.offset_in_epoch += 1
+        self.records_processed += 1
+        self.charge(self.cost.record_cpu_cost)
+        ctx = self.ctx
+        ctx.current_key = record.key
+        ctx.element_timestamp = record.timestamp
+        ctx.element_created_at = record.created_at
+        ctx.input_index = self.input_infos[channel_index].input_index
+        self.backend.set_current_key(record.key)
+        self.operator.process(record, ctx)
+        yield from self._drain_output()
+
+    def _fire_timer(self, timer: Timer):
+        if self.causal is not None:
+            self.causal.append_main(
+                TimerFiredDeterminant(timer.timer_id, self.offset_in_epoch)
+            )
+        self.charge(self.cost.record_cpu_cost)
+        ctx = self.ctx
+        ctx.current_key = timer.key
+        ctx.element_timestamp = timer.fire_time
+        ctx.element_created_at = None
+        self.backend.set_current_key(timer.key)
+        self.operator.on_timer(timer, ctx)
+        yield from self._drain_output()
+        yield from self._pay()
+
+    def _handle_watermark(self, channel_index: int, watermark_ts: float):
+        advanced = self._wm_tracker.update(channel_index, watermark_ts)
+        if advanced is None:
+            return
+        ctx = self.ctx
+        ctx.current_watermark = advanced
+        for timer in self.timers.advance_watermark(advanced):
+            self.charge(self.cost.record_cpu_cost)
+            ctx.current_key = timer.key
+            ctx.element_timestamp = timer.fire_time
+            ctx.element_created_at = None
+            self.backend.set_current_key(timer.key)
+            self.operator.on_timer(timer, ctx)
+            yield from self._drain_output()
+        self.operator.on_watermark(advanced, ctx)
+        yield from self._drain_output()
+        for edge in self.out_edges:
+            yield from edge.writer.broadcast(Watermark(advanced))
+
+    def _handle_barrier(self, channel_index: int, barrier: CheckpointBarrier):
+        checkpoint_id = barrier.checkpoint_id
+        if checkpoint_id <= self.epoch:
+            return  # duplicate barrier re-delivered by an at-least-once replay
+        if self._aligning is None:
+            self._aligning = checkpoint_id
+            self._barriers_received = set()
+        self._barriers_received.add(channel_index)
+        if not self.recovery.active:
+            self.gate.block_channel(channel_index)
+        alive = set(range(len(self.input_infos))) - self._channels_done
+        if self._barriers_received >= alive:
+            yield from self._take_checkpoint(checkpoint_id)
+            self._aligning = None
+            self._barriers_received = set()
+            self.gate.unblock_all()
+
+    def _take_checkpoint(self, checkpoint_id: int):
+        state_size = self.backend.size_bytes()
+        # Synchronous part of the (mostly asynchronous) snapshot.
+        self.charge(1e-4 + self.cost.serialize_time(state_size) * 0.05)
+        # The operator sees the epoch boundary BEFORE its state is imaged,
+        # so a restore resumes in the epoch the checkpoint opens.
+        self.operator.on_barrier(checkpoint_id, self.ctx)
+        snapshot = self.build_snapshot(checkpoint_id)
+        self.jm.snapshot_taken(self, snapshot)
+        if self.causal is not None:
+            self.causal.on_barrier(checkpoint_id)
+            if self.recovery.active:
+                self.services.replay_reseed()
+            else:
+                self.services.reseed_for_epoch(checkpoint_id)
+        self.epoch = checkpoint_id
+        self.offset_in_epoch = 0
+        for edge in self.out_edges:
+            yield from edge.writer.broadcast_barrier(CheckpointBarrier(checkpoint_id))
+        yield from self._pay()
+
+    def build_snapshot(self, checkpoint_id: int) -> TaskSnapshot:
+        return TaskSnapshot(
+            self.name,
+            checkpoint_id,
+            self.backend.snapshot(),
+            self.operator.snapshot(),
+            {"edges": [edge.writer.snapshot_state() for edge in self.out_edges]},
+            self.timers.snapshot(),
+            self._wm_tracker.snapshot() if self.input_infos else None,
+        )
+
+    # -- emission ----------------------------------------------------------------------------
+
+    def _drain_output(self):
+        if not self.ctx.pending_output:
+            return
+        pending, self.ctx.pending_output = self.ctx.pending_output, []
+        for record in pending:
+            yield from self._emit_record(record)
+
+    def _emit_record(self, record: StreamRecord):
+        for edge in self.out_edges:
+            out = record
+            if edge.key_selector is not None:
+                out = StreamRecord(
+                    record.value,
+                    timestamp=record.timestamp,
+                    key=edge.key_selector(record.value),
+                    created_at=record.created_at,
+                )
+            yield from edge.writer.emit(out)
+
+    def _maybe_emit_watermark(self):
+        if self.env.now - self._last_wm_check < self.config.watermark_interval:
+            return
+        if any(ch.forced_cuts for ch in self.all_output_channels):
+            # Still regenerating pre-failure buffers: inserting a fresh
+            # watermark would shift the reproduced buffer boundaries.
+            return
+        self._last_wm_check = self.env.now
+        generator = self.operator.watermark_generator()
+        if generator is None:
+            return
+        watermark = generator.next_watermark()
+        if watermark is None:
+            return
+        if self.causal is not None:
+            self.causal.append_main(
+                WatermarkEmitDeterminant(watermark, self.offset_in_epoch)
+            )
+        for edge in self.out_edges:
+            yield from edge.writer.broadcast(Watermark(watermark))
+
+    # -- control messages ------------------------------------------------------------------------
+
+    def _handle_control(self, message):
+        kind = message.kind
+        if kind == "inject_barrier":
+            yield from self._inject_barrier(message.payload)
+        elif kind == "checkpoint_complete":
+            self._on_checkpoint_complete(message.payload)
+        elif kind == "replay_request":
+            self._on_replay_request(**message.payload)
+        elif kind == "stop":
+            raise Interrupt("stopped")
+        else:
+            raise RecoveryError(f"{self.name}: unknown control message {kind!r}")
+
+    def _inject_barrier(self, checkpoint_id: int):
+        if self.recovery.active:
+            # The barrier will be re-injected at its logged offset instead.
+            return
+        if self.causal is not None:
+            self.causal.append_main(
+                BarrierInjectDeterminant(checkpoint_id, self.offset_in_epoch)
+            )
+        yield from self._take_checkpoint(checkpoint_id)
+
+    def _on_checkpoint_complete(self, checkpoint_id: int) -> None:
+        if self.causal is not None:
+            self.causal.on_checkpoint_complete(checkpoint_id)
+        if self.inflight is not None:
+            self.inflight.truncate_before(checkpoint_id)
+        self.operator.on_checkpoint_complete(checkpoint_id, self.ctx)
+
+    def _on_replay_request(
+        self, flat_channel: int, from_epoch: int, delivered_seq: int, requester: str
+    ) -> None:
+        """An in-flight log replay request from a recovering downstream
+        (step 4 of the protocol); serving it is step 5."""
+        channel = self.output_channel_by_flat_index(flat_channel)
+        channel.suppress_until_seq = max(channel.suppress_until_seq, delivered_seq)
+        if self.causal is not None:
+            # Re-send the full log on the next buffers: the reconnected
+            # receiver may have lost its causal store (idempotent merge makes
+            # over-sending safe).
+            self.causal.reset_channel_cursors(flat_channel)
+        if self.inflight is None:
+            raise RecoveryError(
+                f"{self.name}: replay requested but no in-flight log configured"
+            )
+        # If this task is itself recovering (lineage, Section 5.1), the same
+        # mechanism works: regenerated buffers are parked unsent while
+        # ``replaying`` and the rescan loop streams them out in order.
+        proc = self.env.process(
+            self._serve_replay(channel, from_epoch, delivered_seq),
+            name=f"replay:{self.name}->ch{flat_channel}",
+        )
+        self._service_procs.append(proc)
+
+    def _serve_replay(self, channel: OutputChannel, from_epoch: int, delivered_seq: int):
+        channel.replaying = True
+        delta_provider = (
+            self.causal.delta_for_dispatch if self.causal is not None else None
+        )
+        try:
+            yield from self.inflight.replay(
+                channel.index,
+                from_epoch,
+                channel.link,
+                skip_up_to_seq=delivered_seq,
+                delta_provider=delta_provider,
+            )
+        finally:
+            channel.replaying = False
+
+    # -- determinant-driven replay (recovery) ---------------------------------------------------
+
+    def _abandon_replay(self, exc: DeterminantLogError):
+        """Availability mode (Section 5.4, fallback disabled): if replay
+        diverges (an upstream recovered without determinants), abandon the
+        log and continue divergently — at-least-once instead of crashing."""
+        if self.config.clonos.fallback_to_global:
+            raise exc
+        self.jm.recovery_events.append((self.env.now, "replay-diverged", self.name))
+        for channel in self.all_output_channels:
+            channel.suppress_until_seq = -1
+            channel.forced_cuts.clear()
+        self.recovery.force_finish()
+        self._finish_recovery()
+
+    def _data_replay_step(self):
+        det = self.recovery.peek_control()
+        if det is None:
+            self.recovery.force_finish()
+            self._finish_recovery()
+            return
+        if det.kind == "order":
+            self.recovery.pop_control()
+            buffer = yield from self.gate.take_from(det.channel)
+            if buffer.seq != det.seq:
+                self._abandon_replay(
+                    DeterminantLogError(
+                        f"{self.name}: replay expected buffer seq {det.seq} on "
+                        f"channel {det.channel}, got {buffer.seq}"
+                    )
+                )
+            try:
+                yield from self._process_buffer(det.channel, buffer)
+            except DeterminantLogError as exc:
+                self._abandon_replay(exc)
+            yield from self._pay()
+        elif det.kind == "timer":
+            self.recovery.pop_control()
+            timer = self.timers.force_fire(det.timer_id)
+            if timer is not None:
+                yield from self._fire_timer(timer)
+        else:
+            raise DeterminantLogError(
+                f"{self.name}: unexpected control determinant {det.kind} in data task"
+            )
+        if not self.recovery.active:
+            self._finish_recovery()
+
+    def _source_replay_step(self):
+        det = self.recovery.peek_control()
+        if det is None:
+            self.recovery.force_finish()
+            self._finish_recovery()
+            return
+        if det.kind in ("barrier", "watermark") and self.offset_in_epoch < det.offset:
+            yield from self._replay_emit(det.offset - self.offset_in_epoch)
+        elif det.kind == "barrier":
+            self.recovery.pop_control()
+            if self.causal is not None:
+                self.causal.append_main(det)
+            yield from self._take_checkpoint(det.checkpoint_id)
+        elif det.kind == "watermark":
+            self.recovery.pop_control()
+            if self.causal is not None:
+                self.causal.append_main(det)
+            generator = self.operator.watermark_generator()
+            if generator is not None:
+                generator.last_emitted = det.value
+            for edge in self.out_edges:
+                yield from edge.writer.broadcast(Watermark(det.value))
+        elif det.kind == "timer":
+            self.recovery.pop_control()
+            timer = self.timers.force_fire(det.timer_id)
+            if timer is not None:
+                yield from self._fire_timer(timer)
+        else:
+            raise DeterminantLogError(
+                f"{self.name}: unexpected control determinant {det.kind} in source"
+            )
+        if not self.recovery.active:
+            self._finish_recovery()
+
+    def _replay_emit(self, count: int):
+        records, _next = self.operator.poll(self.ctx, min(count, self.SOURCE_BATCH))
+        if not records:
+            raise DeterminantLogError(
+                f"{self.name}: source replay starved — determinants reference "
+                "records the durable log no longer serves"
+            )
+        for record in records:
+            self.offset_in_epoch += 1
+            self.records_processed += 1
+            self.charge(self.cost.record_cpu_cost)
+            yield from self._emit_record(record)
+        yield from self._pay()
+
+    def enter_seep_dedup(self, channel_index: int, from_epoch: int) -> None:
+        """Arm receiver-side dedup on one channel: the upstream will replay
+        everything from ``from_epoch``; drop as many records as we already
+        consumed of those epochs."""
+        counts = self._seep_counts.setdefault(channel_index, {})
+        to_drop = 0
+        for epoch in [e for e in counts if e >= from_epoch]:
+            to_drop += counts.pop(epoch)
+        self._seep_drop[channel_index] = self._seep_drop.get(channel_index, 0) + to_drop
+
+    def _finish_recovery(self) -> None:
+        # Leftover forced cuts cover buffers the predecessor dispatched after
+        # its last logged nondeterministic event; they MUST keep driving the
+        # boundaries (sender-side dedup needs byte-identical regeneration up
+        # to the last delivered buffer), so they drain naturally.
+        self.timers.arm_parked()
+        self._last_wm_check = self.env.now
+        self.status = TaskStatus.RUNNING
+        self.jm.task_recovered(self)
+
+    # -- termination --------------------------------------------------------------------------------
+
+    def _finish(self):
+        self.operator.close(self.ctx)
+        yield from self._drain_output()
+        for edge in self.out_edges:
+            yield from edge.writer.broadcast(EndOfStream())
+            yield from edge.writer.flush_all("eos")
+        yield from self._pay()
+        self.status = TaskStatus.FINISHED
+        self.jm.task_finished(self)
+        # A finished task's in-flight/causal logs keep serving recoveries of
+        # downstream tasks (the durable-source assumption of Section 5.1):
+        # keep draining control messages.
+        self._service_procs.append(
+            self.env.process(
+                self._finished_control_loop(), name=f"finished-ctl:{self.name}"
+            )
+        )
+
+    def _finished_control_loop(self):
+        try:
+            while True:
+                message = self.control.poll()
+                if message is None:
+                    yield self.control.signal.wait()
+                    continue
+                if message.kind == "replay_request":
+                    self._on_replay_request(**message.payload)
+                elif message.kind == "checkpoint_complete":
+                    self._on_checkpoint_complete(message.payload)
+                # inject_barrier and the rest are meaningless after EOS.
+        except Interrupt:
+            return
+
+    def _finish_source(self):
+        final_wm = Watermark(float("inf"))
+        if self.causal is not None:
+            self.causal.append_main(
+                WatermarkEmitDeterminant(float("inf"), self.offset_in_epoch)
+            )
+        for edge in self.out_edges:
+            yield from edge.writer.broadcast(final_wm)
+        yield from self._finish()
+
+    def __repr__(self) -> str:
+        return f"StreamTask({self.name}, {self.status.value})"

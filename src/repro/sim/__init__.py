@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel (SimPy-style, deterministic)."""
+
+from repro.sim.core import (
+    NORMAL,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.queues import Resource, Signal, Store
+from repro.sim.rng import RandomStreams, derive_seed
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "NORMAL",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Signal",
+    "Store",
+    "Timeout",
+    "URGENT",
+    "derive_seed",
+]

@@ -1,0 +1,390 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, generator-coroutine engine in the style of SimPy.
+Processes are Python generators that ``yield`` :class:`Event` objects; the
+:class:`Environment` resumes them when those events trigger.  All scheduling
+is totally ordered by ``(time, priority, sequence)``, so a simulation run is
+exactly reproducible for a given program.
+
+The rest of the library models a distributed stream processor on top of this
+kernel: tasks, network channels, checkpoints, and failures are all processes
+and events in one :class:`Environment`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for urgent (control-plane) events; fires before NORMAL
+#: events scheduled at the same instant.
+URGENT = 0
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the object passed to ``interrupt()``;
+    tasks use it to distinguish failure injection from cancellation.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening that processes can wait for.
+
+    An event starts *pending*, becomes *triggered* once scheduled with a value
+    (or an exception), and is *processed* after its callbacks ran.  Multiple
+    processes may wait on the same event.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception; waiters will see it raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    As an :class:`Event`, a process triggers when the generator returns
+    (value = the ``return`` value) or raises (the event fails).
+    """
+
+    __slots__ = ("_generator", "_target", "name", "_interrupts")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        self._interrupts: List[Interrupt] = []
+        # Bootstrap: resume the generator at the current instant.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init._triggered = True
+        env._schedule(init, URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is an error; interrupting twice
+        before the process runs queues both interrupts.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        self._interrupts.append(Interrupt(cause))
+        wakeup = Event(self.env)
+        wakeup.callbacks.append(self._resume)
+        wakeup._triggered = True
+        self.env._schedule(wakeup, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return  # process already finished (e.g. interrupted earlier)
+        # Detach from the event we were waiting on, if any.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.env._active_process = self
+        try:
+            if self._interrupts:
+                interrupt = self._interrupts.pop(0)
+                next_event = self._generator.throw(interrupt)
+            elif event.ok:
+                next_event = self._generator.send(event.value)
+            else:
+                next_event = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self._finish(True, stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: treat as clean exit.
+            self._finish(True, None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into event
+            self._finish(False, exc)
+            return
+        finally:
+            self.env._active_process = None
+        if not isinstance(next_event, Event):
+            self._generator.close()
+            self._finish(
+                False,
+                SimulationError(
+                    f"process {self.name} yielded non-event {next_event!r}"
+                ),
+            )
+            return
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at the current instant.
+            passthrough = Event(self.env)
+            passthrough._triggered = True
+            passthrough._ok = next_event._ok
+            passthrough._value = next_event._value
+            passthrough.callbacks.append(self._resume)
+            self.env._schedule(passthrough, URGENT)
+            self._target = None
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        self.env._schedule(self, URGENT)
+
+    def kill(self) -> None:
+        """Terminate the process without running any more of its code.
+
+        Used by failure injection: the process simply never resumes again,
+        modelling a crashed thread.  Waiters of the process event are *not*
+        notified (a crash is silent); use :meth:`interrupt` for a noisy stop.
+        """
+        if self._triggered:
+            return
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._generator.close()
+        self._triggered = True  # prevents any future _resume from acting
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        for ev in self._events:
+            if ev.callbacks is None:
+                # Already processed (fired in the past): count immediately.
+                # NOTE: a *scheduled* Timeout has triggered=True from birth;
+                # only `callbacks is None` means it actually fired.
+                self._on_child(ev)
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._on_child)
+        self._check_bootstrap()
+
+    def _check_bootstrap(self) -> None:
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers once every child event has triggered successfully."""
+
+    __slots__ = ("_done",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        self._done = 0
+        super().__init__(env, events)
+
+    def _check_bootstrap(self) -> None:
+        if not self._triggered and self._done == len(self._events):
+            self.succeed([ev.value for ev in self._events])
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._done += 1
+        if self._done == len(self._events):
+            self.succeed([ev.value for ev in self._events])
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event triggers."""
+
+    __slots__ = ()
+
+    def _check_bootstrap(self) -> None:
+        # Children processed before construction were counted in __init__;
+        # nothing more to do here (AnyOf fires from _on_child directly).
+        return None
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(event)
+
+
+class Environment:
+    """The simulation world: clock plus event queue.
+
+    All model components share one environment.  Time is a float in seconds.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def schedule_callback(
+        self, delay: float, callback: Callable[[], None], priority: int = NORMAL
+    ) -> Event:
+        """Run ``callback()`` after ``delay`` simulated seconds."""
+        ev = Event(self)
+        ev.callbacks.append(lambda _ev: callback())
+        ev._triggered = True
+        self._schedule(ev, priority, delay)
+        return ev
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-12:
+            raise SimulationError("time went backwards")
+        self._now = max(self._now, when)
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event.ok and not isinstance(event, Process):
+            # A failed event nobody waited for would silently swallow the
+            # exception; surface it instead.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue empties or the clock reaches ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError(f"run until {until} is in the past (now={self._now})")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")

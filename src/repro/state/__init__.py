@@ -1,0 +1,28 @@
+"""Keyed state backends and checkpoint snapshots."""
+
+from repro.state.backend import (
+    HashMapStateBackend,
+    ListState,
+    ListStateDescriptor,
+    MapState,
+    MapStateDescriptor,
+    ReducingState,
+    ReducingStateDescriptor,
+    ValueState,
+    ValueStateDescriptor,
+)
+from repro.state.snapshot import SnapshotStore, TaskSnapshot
+
+__all__ = [
+    "HashMapStateBackend",
+    "ListState",
+    "ListStateDescriptor",
+    "MapState",
+    "MapStateDescriptor",
+    "ReducingState",
+    "ReducingStateDescriptor",
+    "SnapshotStore",
+    "TaskSnapshot",
+    "ValueState",
+    "ValueStateDescriptor",
+]

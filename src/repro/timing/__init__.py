@@ -1,0 +1,11 @@
+"""Time: timers, watermarks, and window primitives."""
+
+from repro.timing.timers import Timer, TimerService
+from repro.timing.watermarks import SourceWatermarkGenerator, WatermarkTracker
+
+__all__ = [
+    "SourceWatermarkGenerator",
+    "Timer",
+    "TimerService",
+    "WatermarkTracker",
+]

@@ -1,0 +1,78 @@
+"""Watermarks: generation at sources, tracking across input channels.
+
+Low-watermarks are generated at sources *according to wall-clock time*
+(Section 4.1), making them nondeterministic; Clonos logs their emission
+offset at the source.  Downstream, a task's watermark is the minimum across
+its input channels — deterministic given the inputs, so no logging is needed
+past the source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class WatermarkTracker:
+    """Min-across-channels watermark state of one task."""
+
+    def __init__(self, num_channels: int):
+        self._channel_watermarks: List[float] = [float("-inf")] * max(1, num_channels)
+        self.current = float("-inf")
+
+    def update(self, channel_index: int, watermark_ts: float) -> Optional[float]:
+        """Record a watermark from one channel; returns the new combined
+        watermark if it advanced, else None."""
+        if watermark_ts < self._channel_watermarks[channel_index]:
+            return None  # late watermark: ignore (FIFO makes this impossible
+            # in normal operation, but replay joins mid-stream)
+        self._channel_watermarks[channel_index] = watermark_ts
+        combined = min(self._channel_watermarks)
+        if combined > self.current:
+            self.current = combined
+            return combined
+        return None
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"channels": list(self._channel_watermarks), "current": self.current}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        channels = list(state["channels"])
+        if len(channels) != len(self._channel_watermarks):
+            # Parallelism never changes across recovery in this model.
+            raise ValueError("channel count changed across restore")
+        self._channel_watermarks = channels
+        self.current = state["current"]
+
+
+class SourceWatermarkGenerator:
+    """Bounded-out-of-orderness watermark generation at a source.
+
+    The watermark is ``max_event_time_seen - lateness``; *when* it is
+    emitted relative to the record stream is decided by a wall-clock
+    interval — the nondeterministic part that gets logged.
+    """
+
+    def __init__(self, lateness: float, interval: float):
+        self.lateness = lateness
+        self.interval = interval
+        self.max_event_time = float("-inf")
+        self.last_emitted = float("-inf")
+
+    def observe(self, event_time: float) -> None:
+        if event_time > self.max_event_time:
+            self.max_event_time = event_time
+
+    def next_watermark(self) -> Optional[float]:
+        """The watermark to emit now, or None if it would not advance."""
+        candidate = self.max_event_time - self.lateness
+        if candidate > self.last_emitted:
+            self.last_emitted = candidate
+            return candidate
+        return None
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"max": self.max_event_time, "emitted": self.last_emitted}
+
+    def restore(self, state: Dict[str, float]) -> None:
+        self.max_event_time = state["max"]
+        self.last_emitted = state["emitted"]

@@ -1,0 +1,5 @@
+"""Synthetic workloads for the configurable failure experiments."""
+
+from repro.workloads.synthetic import StatefulStageOperator, synthetic_chain
+
+__all__ = ["StatefulStageOperator", "synthetic_chain"]

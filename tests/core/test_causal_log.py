@@ -1,0 +1,167 @@
+"""Unit tests for determinants and the causal log."""
+
+import pytest
+
+from repro.core.causal_log import (
+    MAIN,
+    CausalLogManager,
+    EpochLog,
+    LogBundle,
+    delta_wire_size,
+    merge_bundles,
+    queue_log_name,
+)
+from repro.core.determinants import (
+    BufferSizeDeterminant,
+    OrderDeterminant,
+    TimestampDeterminant,
+)
+from repro.errors import DeterminantLogError
+
+
+def ts(v, fresh=True):
+    return TimestampDeterminant(v, fresh)
+
+
+class TestEpochLog:
+    def test_append_returns_index_within_epoch(self):
+        log = EpochLog()
+        assert log.append(0, ts(1.0)) == 0
+        assert log.append(0, ts(2.0)) == 1
+        assert log.append(1, ts(3.0)) == 0
+
+    def test_truncate_drops_old_epochs(self):
+        log = EpochLog()
+        log.append(0, ts(1.0))
+        log.append(1, ts(2.0))
+        log.append(2, ts(3.0))
+        assert log.truncate_before(2) == 2
+        assert log.epochs() == [2]
+
+    def test_merge_slice_is_idempotent(self):
+        log = EpochLog()
+        entries = [ts(1.0), ts(2.0), ts(3.0)]
+        log.merge_slice(0, 0, entries[:2])
+        log.merge_slice(0, 0, entries)  # overlap: extends by one
+        log.merge_slice(0, 1, entries[1:])  # fully covered
+        assert log.entries(0) == entries
+
+    def test_merge_slice_rejects_gap(self):
+        log = EpochLog()
+        with pytest.raises(DeterminantLogError):
+            log.merge_slice(0, 2, [ts(1.0)])
+
+    def test_size_bytes_counts_wire_sizes(self):
+        log = EpochLog()
+        log.append(0, ts(1.0, fresh=True))   # 9 bytes
+        log.append(0, ts(1.0, fresh=False))  # 1 byte (cache hit)
+        assert log.size_bytes() == 10
+
+
+class TestTimestampCachingEncoding:
+    def test_cache_hit_is_one_byte(self):
+        assert ts(5.0, fresh=True).wire_size() == 9
+        assert ts(5.0, fresh=False).wire_size() == 1
+
+
+class TestCausalLogManager:
+    def make(self, dsd=None, channels=2, name="t"):
+        return CausalLogManager(name, channels, dsd)
+
+    def test_delta_carries_new_entries_once(self):
+        mgr = self.make()
+        mgr.append_main(OrderDeterminant(0, 0))
+        slices, nbytes = mgr.delta_for_dispatch(0)
+        assert len(slices) == 1
+        assert nbytes > 0
+        again, nbytes2 = mgr.delta_for_dispatch(0)
+        assert again == [] and nbytes2 == 0
+        # A different channel still needs the entries.
+        other, _ = mgr.delta_for_dispatch(1)
+        assert len(other) == 1
+
+    def test_dsd_zero_disables_logging_delta(self):
+        mgr = self.make(dsd=0)
+        assert not mgr.enabled
+        mgr.append_main(OrderDeterminant(0, 0))
+        assert mgr.delta_for_dispatch(0) == ([], 0)
+
+    def test_merge_delta_builds_store(self):
+        up = self.make(name="up")
+        down = self.make(name="down")
+        up.append_main(OrderDeterminant(0, 7))
+        slices, _ = up.delta_for_dispatch(0)
+        down.merge_delta(slices, sender_task_id="up")
+        bundle = down.stored_bundle_for("up")
+        assert bundle is not None
+        assert bundle.log(MAIN).entries(0) == [OrderDeterminant(0, 7)]
+
+    def test_duplicate_delta_merge_is_harmless(self):
+        up = self.make(name="up")
+        down = self.make(name="down")
+        up.append_main(OrderDeterminant(0, 7))
+        slices, _ = up.delta_for_dispatch(0)
+        down.merge_delta(slices, "up")
+        down.merge_delta(slices, "up")
+        assert down.stored_bundle_for("up").log(MAIN).length(0) == 1
+
+    def test_dsd_forwarding_depth(self):
+        # a -> b -> c with DSD=2: b forwards a's bundle to c.
+        a = self.make(dsd=2, name="a")
+        b = self.make(dsd=2, name="b")
+        c = self.make(dsd=2, name="c")
+        a.append_main(OrderDeterminant(0, 1))
+        slices, _ = a.delta_for_dispatch(0)
+        b.merge_delta(slices, "a")
+        b.append_main(OrderDeterminant(0, 2))
+        forward, _ = b.delta_for_dispatch(0)
+        c.merge_delta(forward, "b")
+        assert c.stored_bundle_for("a") is not None
+        assert c.stored_bundle_for("b") is not None
+
+    def test_dsd1_does_not_forward(self):
+        a = self.make(dsd=1, name="a")
+        b = self.make(dsd=1, name="b")
+        a.append_main(OrderDeterminant(0, 1))
+        slices, _ = a.delta_for_dispatch(0)
+        b.merge_delta(slices, "a")
+        forward, _ = b.delta_for_dispatch(0)
+        assert all(task_id == "b" for (task_id, *_rest) in forward)
+
+    def test_checkpoint_complete_truncates_everything(self):
+        mgr = self.make()
+        mgr.append_main(OrderDeterminant(0, 1))
+        mgr.on_barrier(1)
+        mgr.append_main(OrderDeterminant(0, 2))
+        dropped = mgr.on_checkpoint_complete(1)
+        assert dropped == 1
+        assert mgr.bundle.log(MAIN).epochs() == [1]
+
+    def test_queue_log_uses_explicit_epoch(self):
+        mgr = self.make()
+        mgr.on_barrier(3)
+        # A barrier-carrying buffer belongs to the epoch it closes.
+        mgr.append_queue(0, BufferSizeDeterminant(9, 4, 100), epoch=2)
+        assert mgr.bundle.log(queue_log_name(0)).epochs() == [2]
+
+    def test_reset_channel_cursors_resends_full_log(self):
+        mgr = self.make()
+        mgr.append_main(OrderDeterminant(0, 1))
+        mgr.delta_for_dispatch(0)
+        mgr.reset_channel_cursors(0)
+        slices, _ = mgr.delta_for_dispatch(0)
+        assert len(slices) == 1
+
+
+def test_merge_bundles_keeps_longest_prefix():
+    b1, b2 = LogBundle(), LogBundle()
+    b1.log(MAIN).append(0, ts(1.0))
+    b2.log(MAIN).append(0, ts(1.0))
+    b2.log(MAIN).append(0, ts(2.0))
+    merged = merge_bundles([b1, b2])
+    assert merged.log(MAIN).length(0) == 2
+
+
+def test_delta_wire_size_counts_headers_and_entries():
+    slices = [("t", MAIN, 0, 0, [ts(1.0), ts(2.0, fresh=False)])]
+    assert delta_wire_size(slices) == 12 + 9 + 1

@@ -1,0 +1,100 @@
+"""Unit tests for the Figure-4 determinant-sharing-depth case analysis."""
+
+import pytest
+
+from repro.core.dsd import (
+    RecoveryCase,
+    classify_failed_task,
+    downstream_within,
+    holders_of,
+    longest_failed_chain,
+    max_consecutive_failures_tolerated,
+    requires_global_rollback,
+)
+
+# a -> b -> c -> d (chain); e is a side sink of b.
+CHAIN = {"a": ["b"], "b": ["c", "e"], "c": ["d"], "d": [], "e": []}
+
+
+def test_downstream_within_hop_limits():
+    assert downstream_within(CHAIN, "a", 1) == {"b"}
+    assert downstream_within(CHAIN, "a", 2) == {"b", "c", "e"}
+    assert downstream_within(CHAIN, "a", None) == {"b", "c", "d", "e"}
+
+
+def test_single_failure_with_dsd1_recovers_with_determinants():
+    case = classify_failed_task(CHAIN, {"b"}, "b", dsd=1)
+    assert case is RecoveryCase.WITH_DETERMINANTS
+
+
+def test_two_consecutive_failures_with_dsd1_orphan():
+    # b's determinants live only at c and e; c failed, e survives -> still ok
+    assert (
+        classify_failed_task(CHAIN, {"b", "c"}, "b", dsd=1)
+        is RecoveryCase.WITH_DETERMINANTS
+    )
+    # but c's determinants live only at d... d survives -> ok
+    assert (
+        classify_failed_task(CHAIN, {"b", "c"}, "c", dsd=1)
+        is RecoveryCase.WITH_DETERMINANTS
+    )
+
+
+def test_orphan_when_all_holders_fail_but_dependents_survive():
+    graph = {"a": ["b"], "b": ["c"], "c": ["d"], "d": []}
+    # a's only holder (dsd=1) is b; both fail; c survives and depends on a.
+    assert classify_failed_task(graph, {"a", "b"}, "a", dsd=1) is RecoveryCase.ORPHANED
+    assert requires_global_rollback(graph, {"a", "b"}, dsd=1)
+
+
+def test_dsd2_rescues_the_same_failure():
+    graph = {"a": ["b"], "b": ["c"], "c": ["d"], "d": []}
+    assert (
+        classify_failed_task(graph, {"a", "b"}, "a", dsd=2)
+        is RecoveryCase.WITH_DETERMINANTS
+    )
+    assert not requires_global_rollback(graph, {"a", "b"}, dsd=2)
+
+
+def test_free_recovery_when_no_survivor_depends():
+    graph = {"a": ["b"], "b": ["c"], "c": []}
+    # a, b, c all fail: nobody surviving depends on anything.
+    for task in ("a", "b", "c"):
+        assert (
+            classify_failed_task(graph, {"a", "b", "c"}, task, dsd=1)
+            in (RecoveryCase.FREE, RecoveryCase.WITH_DETERMINANTS)
+        )
+    assert classify_failed_task(graph, {"a", "b", "c"}, "a", dsd=1) is RecoveryCase.FREE
+    assert not requires_global_rollback(graph, {"a", "b", "c"}, dsd=1)
+
+
+def test_dsd_zero_has_no_holders():
+    assert holders_of(CHAIN, "a", 0) == set()
+    # With dsd=0 any failure with surviving dependents is orphaned.
+    assert classify_failed_task(CHAIN, {"b"}, "b", dsd=0) is RecoveryCase.ORPHANED
+
+
+def test_full_dsd_never_orphans_single_failures():
+    for task in CHAIN:
+        assert (
+            classify_failed_task(CHAIN, {task}, task, dsd=None)
+            is not RecoveryCase.ORPHANED
+        )
+
+
+def test_classify_requires_task_in_failure_set():
+    with pytest.raises(ValueError):
+        classify_failed_task(CHAIN, {"a"}, "b", dsd=1)
+
+
+def test_longest_failed_chain():
+    assert longest_failed_chain(CHAIN, set()) == 0
+    assert longest_failed_chain(CHAIN, {"a"}) == 1
+    assert longest_failed_chain(CHAIN, {"a", "c"}) == 1  # not consecutive
+    assert longest_failed_chain(CHAIN, {"a", "b", "c"}) == 3
+    assert longest_failed_chain(CHAIN, {"b", "c", "d"}) == 3
+
+
+def test_tolerated_failures_matches_dsd():
+    assert max_consecutive_failures_tolerated(CHAIN, 2, depth=3) == 2
+    assert max_consecutive_failures_tolerated(CHAIN, None, depth=3) == 3

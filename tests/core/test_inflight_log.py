@@ -1,0 +1,201 @@
+"""Unit tests for the in-flight record log and its spill policies."""
+
+import pytest
+
+from repro.config import CostModel, SpillPolicy
+from repro.core.inflight_log import InFlightLog
+from repro.net.buffer import BufferPool, NetworkBuffer
+from repro.net.link import NetworkLink
+from repro.net.gate import InputChannel
+from repro.sim.core import Environment
+
+
+def make_log(env, policy=SpillPolicy.IN_MEMORY, pool_buffers=8, **cost_overrides):
+    cost = CostModel(buffer_size_bytes=256, **cost_overrides)
+    return (
+        InFlightLog(env, cost, pool_buffers * 256, policy, 0.25, name="t"),
+        cost,
+    )
+
+
+def make_buffer(env, cost, pool, seq, epoch=0, fill=100):
+    buffer = NetworkBuffer(0, seq, epoch, pool)
+    buffer.append(object(), fill)
+    return buffer
+
+
+def run_append(env, log, pool, seq, epoch=0, sent=True):
+    buffer = NetworkBuffer(0, seq, epoch, pool)
+    buffer.append(("x", seq), 100)
+
+    def proc():
+        assert pool.try_acquire()
+        yield from log.append(0, buffer, sent)
+
+    env.process(proc())
+    env.run()
+    return buffer
+
+
+class TestExchangeAndTruncation:
+    def test_append_exchanges_ownership(self):
+        env = Environment()
+        log, cost = make_log(env)
+        out_pool = BufferPool(env, 4 * 256, 256, "out")
+        run_append(env, log, out_pool, seq=0)
+        # The output pool got its permit back; the log pool holds one.
+        assert out_pool.available_buffers == out_pool.total_buffers
+        assert log.pool.in_use_buffers == 1
+
+    def test_truncation_releases_memory(self):
+        env = Environment()
+        log, cost = make_log(env)
+        out_pool = BufferPool(env, 16 * 256, 256, "out")
+        for seq, epoch in [(0, 0), (1, 0), (2, 1), (3, 1)]:
+            run_append(env, log, out_pool, seq, epoch)
+        assert log.pool.in_use_buffers == 4
+        dropped = log.truncate_before(1)
+        assert dropped == 2
+        assert log.pool.in_use_buffers == 2
+        assert sorted(log._entries) == [1]
+
+    def test_has_epoch_after_truncation(self):
+        env = Environment()
+        log, _ = make_log(env)
+        out_pool = BufferPool(env, 4 * 256, 256, "out")
+        run_append(env, log, out_pool, 0, epoch=0)
+        log.truncate_before(2)
+        assert not log.has_epoch(1)
+        assert log.has_epoch(2)
+
+
+class TestSpillPolicies:
+    def test_in_memory_blocks_when_pool_full(self):
+        env = Environment()
+        log, cost = make_log(env, SpillPolicy.IN_MEMORY, pool_buffers=2)
+        out_pool = BufferPool(env, 16 * 256, 256, "out")
+        appended = []
+
+        def producer():
+            for seq in range(4):
+                buffer = NetworkBuffer(0, seq, 0, out_pool)
+                buffer.append(("x", seq), 100)
+                assert out_pool.try_acquire()
+                yield from log.append(0, buffer, True)
+                appended.append(seq)
+
+        env.process(producer())
+        env.run(until=10)
+        assert appended == [0, 1]  # blocked: backpressure
+
+    def test_spill_buffer_never_occupies_memory(self):
+        env = Environment()
+        log, cost = make_log(env, SpillPolicy.SPILL_BUFFER, pool_buffers=2)
+        out_pool = BufferPool(env, 16 * 256, 256, "out")
+        for seq in range(6):
+            run_append(env, log, out_pool, seq)
+        assert log.pool.in_use_buffers == 0
+        assert log.buffers_spilled == 6
+        assert log.sync_spill_time > 0
+
+    def test_spill_threshold_frees_memory_asynchronously(self):
+        env = Environment()
+        log, cost = make_log(env, SpillPolicy.SPILL_THRESHOLD, pool_buffers=4)
+        out_pool = BufferPool(env, 32 * 256, 256, "out")
+        for seq in range(8):
+            run_append(env, log, out_pool, seq)
+            env.run(until=env.now + 0.1)  # let the spiller catch up
+        assert log.buffers_spilled > 0
+        assert log.buffers_logged == 8
+
+    def test_spill_epoch_spills_closed_epochs(self):
+        env = Environment()
+        log, cost = make_log(env, SpillPolicy.SPILL_EPOCH, pool_buffers=8)
+        out_pool = BufferPool(env, 32 * 256, 256, "out")
+        run_append(env, log, out_pool, 0, epoch=0)
+        run_append(env, log, out_pool, 1, epoch=0)
+        run_append(env, log, out_pool, 2, epoch=1)  # epoch 0 now closed
+        env.run(until=env.now + 1)
+        epoch0 = [e for e in log._entries[0]]
+        assert all(entry.spilled for entry in epoch0)
+
+
+class TestReplay:
+    def test_replay_resends_in_order_with_skip(self):
+        env = Environment()
+        log, cost = make_log(env)
+        out_pool = BufferPool(env, 16 * 256, 256, "out")
+        for seq in range(5):
+            run_append(env, log, out_pool, seq, epoch=1)
+        link = NetworkLink(env, cost, "l")
+        received = []
+
+        class Recorder(InputChannel):
+            pass
+
+        channel = Recorder(env, 0, capacity=32)
+        link.attach_receiver(channel)
+
+        def replayer():
+            yield from log.replay(0, from_epoch=1, link=link, skip_up_to_seq=1)
+
+        env.process(replayer())
+        env.run()
+        seqs = [b.seq for b in channel.queue.items]
+        assert seqs == [2, 3, 4]
+        assert log.buffers_replayed == 3
+
+    def test_replay_from_epoch_filters_older(self):
+        env = Environment()
+        log, cost = make_log(env)
+        out_pool = BufferPool(env, 16 * 256, 256, "out")
+        run_append(env, log, out_pool, 0, epoch=0)
+        run_append(env, log, out_pool, 1, epoch=1)
+        link = NetworkLink(env, cost, "l")
+        channel = InputChannel(env, 0, capacity=32)
+        link.attach_receiver(channel)
+
+        def replayer():
+            yield from log.replay(0, from_epoch=1, link=link)
+
+        env.process(replayer())
+        env.run()
+        assert [b.seq for b in channel.queue.items] == [1]
+
+    def test_replay_picks_up_buffers_appended_during_replay(self):
+        env = Environment()
+        log, cost = make_log(env, pool_buffers=32)
+        out_pool = BufferPool(env, 64 * 256, 256, "out")
+        for seq in range(6):
+            run_append(env, log, out_pool, seq, epoch=0)
+        # Tiny wire + receiver window: the replay backpressures until the
+        # slow consumer drains, leaving time for a late (parked) append.
+        link = NetworkLink(env, cost, "l", capacity=1)
+        channel = InputChannel(env, 0, capacity=1)
+        link.attach_receiver(channel)
+        consumed = []
+
+        def replayer():
+            yield from log.replay(0, from_epoch=0, link=link)
+
+        def late_appender():
+            yield env.timeout(0.05)
+            buffer = NetworkBuffer(0, 6, 0, out_pool)
+            buffer.append(("x", 6), 100)
+            assert out_pool.try_acquire()
+            yield from log.append(0, buffer, sent=False)  # parked unsent
+
+        def consumer():
+            for _ in range(100):
+                if len(consumed) >= 7:
+                    return
+                yield env.timeout(0.1)
+                buffer = channel.queue.try_get()
+                if buffer is not None:
+                    consumed.append(buffer.seq)
+
+        env.process(replayer())
+        env.process(late_appender())
+        env.process(consumer())
+        env.run()
+        assert consumed == [0, 1, 2, 3, 4, 5, 6]

@@ -1,0 +1,117 @@
+"""Unit tests for the recovery manager's determinant scheduling."""
+
+import pytest
+
+from repro.core.causal_log import LogBundle, queue_log_name
+from repro.core.determinants import (
+    BarrierInjectDeterminant,
+    BufferSizeDeterminant,
+    ExternalCallDeterminant,
+    OrderDeterminant,
+    RngSeedDeterminant,
+    TimerFiredDeterminant,
+    TimestampDeterminant,
+)
+from repro.core.recovery import RecoveryManager
+from repro.errors import DeterminantLogError
+
+
+def bundle_with(entries, epoch=1, queue_entries=()):
+    bundle = LogBundle()
+    for det in entries:
+        bundle.log("main").append(epoch, det)
+    for det in queue_entries:
+        bundle.log(queue_log_name(0)).append(epoch, det)
+    return bundle
+
+
+def test_load_splits_control_and_values():
+    manager = RecoveryManager("t")
+    manager.load(
+        bundle_with(
+            [
+                OrderDeterminant(0, 5),
+                TimestampDeterminant(1.0),
+                TimerFiredDeterminant("t#1", 3),
+                ExternalCallDeterminant("k", 42),
+            ]
+        ),
+        from_epoch=1,
+    )
+    assert manager.active
+    assert manager.peek_control().kind == "order"
+    manager.pop_control()
+    assert manager.peek_control().kind == "timer"
+    assert manager.pop_value("timestamp").value == 1.0
+    assert manager.pop_value("http", match="k").response == 42
+
+
+def test_epochs_before_restore_are_ignored():
+    bundle = LogBundle()
+    bundle.log("main").append(0, OrderDeterminant(0, 1))
+    bundle.log("main").append(2, OrderDeterminant(0, 9))
+    manager = RecoveryManager("t")
+    manager.load(bundle, from_epoch=2)
+    assert manager.pop_control() == OrderDeterminant(0, 9)
+
+
+def test_finishes_when_exhausted():
+    manager = RecoveryManager("t")
+    manager.load(bundle_with([OrderDeterminant(0, 1)]), from_epoch=0)
+    assert manager.active
+    manager.pop_control()
+    assert not manager.active
+
+
+def test_value_exhaustion_raises():
+    manager = RecoveryManager("t")
+    manager.load(bundle_with([]), from_epoch=0)
+    with pytest.raises(DeterminantLogError):
+        manager.pop_value("timestamp")
+
+
+def test_mismatched_http_key_detected():
+    manager = RecoveryManager("t")
+    manager.load(
+        bundle_with([ExternalCallDeterminant("expected", 1)]), from_epoch=0
+    )
+    with pytest.raises(DeterminantLogError):
+        manager.pop_value("http", match="other")
+
+
+def test_queue_logs_become_forced_cuts():
+    manager = RecoveryManager("t")
+    manager.load(
+        bundle_with(
+            [OrderDeterminant(0, 1)],
+            queue_entries=[
+                BufferSizeDeterminant(7, 12, 900),
+                BufferSizeDeterminant(8, 3, 250),
+            ],
+        ),
+        from_epoch=1,
+    )
+    assert manager.forced_cuts_for_channel(0) == [12, 3]
+    assert manager.first_replayed_seq(0) == 7
+    assert manager.forced_cuts_for_channel(99) == []
+
+
+def test_force_finish_clears_everything():
+    manager = RecoveryManager("t")
+    manager.load(
+        bundle_with([OrderDeterminant(0, 1), TimestampDeterminant(2.0)]),
+        from_epoch=0,
+    )
+    manager.force_finish()
+    assert not manager.active
+    assert manager.peek_control() is None
+
+
+def test_rng_and_barrier_routing():
+    manager = RecoveryManager("t")
+    manager.load(
+        bundle_with([RngSeedDeterminant(99), BarrierInjectDeterminant(2, 14)]),
+        from_epoch=0,
+    )
+    assert manager.peek_control().kind == "barrier"
+    assert manager.pop_value("rng").seed == 99

@@ -1,0 +1,183 @@
+"""Unit tests for naive vs causal services (Section 4.2)."""
+
+import pytest
+
+from repro.core.causal_log import MAIN, CausalLogManager
+from repro.core.recovery import RecoveryManager
+from repro.core.services import CausalServices, NaiveServices
+from repro.errors import DeterminantLogError
+from repro.external.http import ExternalService
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+
+
+def make_causal(env, name="t", granularity=1e-3, external=None):
+    causal = CausalLogManager(name, 1, dsd=None)
+    recovery = RecoveryManager(name)
+    services = CausalServices(
+        env, causal, recovery, external, name, root_seed=1,
+        timestamp_granularity=granularity,
+    )
+    return services, causal, recovery
+
+
+def drive(env, gen):
+    """Run a service generator to completion, returning its value (or
+    re-raising its exception in the caller)."""
+    result = {}
+
+    def proc():
+        try:
+            result["value"] = yield from gen
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            result["error"] = exc
+
+    env.process(proc())
+    env.run()
+    if "error" in result:
+        raise result["error"]
+    return result["value"]
+
+
+class TestNaiveServices:
+    def test_timestamp_is_wall_clock(self):
+        env = Environment()
+        svc = NaiveServices(env, None, "t")
+        env.run(until=3.5)
+        assert svc.timestamp() == 3.5
+
+    def test_rng_differs_across_restart_times(self):
+        env = Environment()
+        first = NaiveServices(env, None, "t", root_seed=1)
+        env.run(until=1.0)
+        second = NaiveServices(env, None, "t", root_seed=1)
+        assert first.random() != second.random()
+
+    def test_http_requires_external(self):
+        env = Environment()
+        svc = NaiveServices(env, None, "t")
+        with pytest.raises(RuntimeError):
+            drive(env, svc.http_get("k"))
+
+    def test_custom_runs_function(self):
+        env = Environment()
+        svc = NaiveServices(env, None, "t")
+        assert svc.custom("double", lambda x: x * 2, 21) == 42
+
+
+class TestCausalServicesNormalOperation:
+    def test_timestamp_logged_and_cached(self):
+        env = Environment()
+        svc, causal, _ = make_causal(env, granularity=0.5)
+        env.run(until=1.0)
+        first = svc.timestamp()
+        second = svc.timestamp()  # cache hit within granularity
+        assert first == second == 1.0
+        entries = causal.bundle.log(MAIN).entries(0)
+        assert [d.fresh for d in entries] == [True, False]
+
+    def test_timestamp_refreshes_after_granularity(self):
+        env = Environment()
+        svc, causal, _ = make_causal(env, granularity=0.5)
+        env.run(until=1.0)
+        svc.timestamp()
+        env.run(until=2.0)
+        assert svc.timestamp() == 2.0
+
+    def test_rng_reseed_logs_seed_per_epoch(self):
+        env = Environment()
+        svc, causal, _ = make_causal(env)
+        svc.reseed_for_epoch(0)
+        draws = [svc.random() for _ in range(3)]
+        entries = causal.bundle.log(MAIN).entries(0)
+        assert len(entries) == 1  # one seed determinant, not three
+        assert entries[0].kind == "rng"
+        # Same seed -> same sequence.
+        svc2, _c, _r = make_causal(env, name="t")
+        svc2.reseed_for_epoch(0)
+        assert [svc2.random() for _ in range(3)] == draws
+
+    def test_http_logs_response(self):
+        env = Environment()
+        external = ExternalService(env, RandomStreams(0))
+        svc, causal, _ = make_causal(env, external=external)
+        value = drive(env, svc.http_get("stock"))
+        entries = causal.bundle.log(MAIN).entries(0)
+        assert entries[0].kind == "http"
+        assert entries[0].response == value
+
+    def test_custom_logs_result(self):
+        env = Environment()
+        svc, causal, _ = make_causal(env)
+        out = svc.custom("inc", lambda x: x + 1, 1)
+        assert out == 2
+        assert causal.bundle.log(MAIN).entries(0)[0].result == 2
+
+
+class TestCausalServicesReplay:
+    def replay_setup(self, env, external=None):
+        """Record determinants with one service, load into a fresh one."""
+        svc, causal, _ = make_causal(env, name="orig", external=external)
+        return svc, causal
+
+    def test_timestamp_replayed_from_log(self):
+        env = Environment()
+        original, causal = self.replay_setup(env)
+        env.run(until=1.0)
+        logged = original.timestamp()
+
+        replay_svc, replay_causal, recovery = make_causal(env, name="new")
+        recovery.load(causal.bundle, from_epoch=0)
+        env.run(until=9.0)  # wall clock moved on
+        assert replay_svc.timestamp() == logged
+        assert replay_svc.replayed_calls == 1
+        # The log is rebuilt during replay.
+        assert replay_causal.bundle.log(MAIN).length(0) == 1
+
+    def test_http_replayed_without_calling_service(self):
+        env = Environment()
+        external = ExternalService(env, RandomStreams(0))
+        original, causal = self.replay_setup(env, external)
+        logged = drive(env, original.http_get("stock"))
+        calls_before = external.calls
+
+        replay_svc, _c, recovery = make_causal(env, name="new", external=external)
+        recovery.load(causal.bundle, from_epoch=0)
+        env.run(until=50.0)  # service has drifted by now
+        replayed = drive(env, replay_svc.http_get("stock"))
+        assert replayed == logged
+        assert external.calls == calls_before  # no real call during replay
+
+    def test_http_replay_divergence_detected(self):
+        env = Environment()
+        external = ExternalService(env, RandomStreams(0))
+        original, causal = self.replay_setup(env, external)
+        drive(env, original.http_get("stock"))
+
+        replay_svc, _c, recovery = make_causal(env, name="new", external=external)
+        recovery.load(causal.bundle, from_epoch=0)
+        with pytest.raises(DeterminantLogError):
+            drive(env, replay_svc.http_get("DIFFERENT-KEY"))
+
+    def test_custom_replayed_without_running_fn(self):
+        env = Environment()
+        original, causal = self.replay_setup(env)
+        original.custom("draw", lambda _x: 123, None)
+
+        replay_svc, _c, recovery = make_causal(env, name="new")
+        recovery.load(causal.bundle, from_epoch=0)
+        ran = []
+        result = replay_svc.custom("draw", lambda _x: ran.append(1) or 999, None)
+        assert result == 123
+        assert ran == []  # the nondeterministic logic did NOT re-run
+
+    def test_rng_replay_reseed_reproduces_sequence(self):
+        env = Environment()
+        original, causal = self.replay_setup(env)
+        original.reseed_for_epoch(0)
+        draws = [original.random() for _ in range(5)]
+
+        replay_svc, _c, recovery = make_causal(env, name="new")
+        recovery.load(causal.bundle, from_epoch=0)
+        replay_svc.replay_reseed()
+        assert [replay_svc.random() for _ in range(5)] == draws

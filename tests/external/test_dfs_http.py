@@ -1,0 +1,104 @@
+"""Unit tests for the DFS and the drifting external service."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.errors import ExternalSystemError
+from repro.external.dfs import DistributedFileSystem
+from repro.external.http import ExternalService, TransactionalSinkService
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+
+
+def drive(env, gen):
+    out = {}
+
+    def proc():
+        out["value"] = yield from gen
+
+    env.process(proc())
+    env.run()
+    return out.get("value")
+
+
+class TestDFS:
+    def test_write_then_read_charges_time(self):
+        env = Environment()
+        cost = CostModel(dfs_write_bandwidth=1e6, dfs_read_bandwidth=1e6,
+                         dfs_latency=0.0)
+        dfs = DistributedFileSystem(env, cost)
+        drive(env, dfs.write("p", 500000))
+        assert env.now == pytest.approx(0.5)
+        assert dfs.exists("p")
+        nbytes = drive(env, dfs.read("p"))
+        assert nbytes == 500000
+        assert env.now == pytest.approx(1.0)
+
+    def test_read_missing_blob_raises(self):
+        env = Environment()
+        dfs = DistributedFileSystem(env, CostModel())
+        with pytest.raises(ExternalSystemError):
+            list(dfs.read("missing"))
+
+    def test_io_slots_serialize_concurrent_writers(self):
+        env = Environment()
+        cost = CostModel(dfs_write_bandwidth=1e6, dfs_latency=0.0)
+        dfs = DistributedFileSystem(env, cost, write_slots=1)
+        done = []
+
+        def writer(name):
+            yield from dfs.write(name, 1_000_000)
+            done.append((name, env.now))
+
+        env.process(writer("a"))
+        env.process(writer("b"))
+        env.run()
+        # With one slot, the second write waits for the first (1s each).
+        assert done[0][1] == pytest.approx(1.0)
+        assert done[1][1] == pytest.approx(2.0)
+
+    def test_delete(self):
+        env = Environment()
+        dfs = DistributedFileSystem(env, CostModel())
+        drive(env, dfs.write("p", 10))
+        dfs.delete("p")
+        assert not dfs.exists("p")
+
+
+class TestExternalService:
+    def test_same_instant_same_answer(self):
+        env = Environment()
+        svc = ExternalService(env, RandomStreams(0))
+        assert svc.get_now("k") == svc.get_now("k")
+
+    def test_answers_drift_over_time(self):
+        env = Environment()
+        svc = ExternalService(env, RandomStreams(0), drift_period=0.05)
+        first = svc.get_now("k")
+        env.run(until=10.0)
+        later = svc.get_now("k")
+        assert first != later
+
+    def test_get_charges_latency_and_counts_calls(self):
+        env = Environment()
+        svc = ExternalService(env, RandomStreams(0), latency=0.25)
+
+        def caller():
+            yield from svc.get("k")
+
+        env.process(caller())
+        env.run()
+        assert env.now == pytest.approx(0.25)
+        assert svc.calls == 1
+
+
+class TestTransactionalSinkService:
+    def test_stores_records_and_determinants(self):
+        svc = TransactionalSinkService()
+        svc.append(1, "a", determinant="d1")
+        svc.append(1, "b", determinant="d2")
+        svc.append(2, "c")
+        assert svc.records == ["a", "b", "c"]
+        assert svc.determinants_for(1) == ["d1", "d2"]
+        svc.truncate_before(2)
+        assert svc.determinants_for(1) == []

@@ -1,0 +1,89 @@
+"""Unit tests for the durable-log (Kafka) simulation."""
+
+import pytest
+
+from repro.errors import ExternalSystemError
+from repro.external.kafka import DurableLog, GeneratedTopicPartition, TopicPartition
+
+
+class TestTopicPartition:
+    def test_append_and_read(self):
+        tp = TopicPartition("t", 0)
+        tp.append(1.0, "a")
+        tp.append(2.0, "b")
+        assert tp.read(0, 10) == [(0, 1.0, "a"), (1, 2.0, "b")]
+
+    def test_read_respects_now(self):
+        tp = TopicPartition("t", 0)
+        tp.append(1.0, "a")
+        tp.append(5.0, "b")
+        assert tp.read(0, 10, now=2.0) == [(0, 1.0, "a")]
+
+    def test_read_from_offset_with_limit(self):
+        tp = TopicPartition("t", 0)
+        for i in range(5):
+            tp.append(float(i), i)
+        assert [off for off, _w, _v in tp.read(2, 2)] == [2, 3]
+
+    def test_next_arrival(self):
+        tp = TopicPartition("t", 0)
+        tp.append(3.0, "a")
+        assert tp.next_arrival_after(0) == 3.0
+        assert tp.next_arrival_after(1) is None
+
+
+class TestGeneratedTopicPartition:
+    def make(self, rate=10.0, total=100):
+        return GeneratedTopicPartition("t", 0, lambda p, off: (p, off), rate, total)
+
+    def test_entries_are_computed_not_stored(self):
+        tp = self.make()
+        assert tp.read(5, 2, now=100.0) == [(5, 0.5, (0, 5)), (6, 0.6, (0, 6))]
+        assert tp.entries == []  # nothing materialized
+
+    def test_availability_follows_rate(self):
+        tp = self.make(rate=10.0)
+        assert tp.end_offset(now=0.0) == 1  # offset 0 arrives at t=0
+        assert tp.end_offset(now=0.95) == 10
+        assert tp.end_offset(now=1e9) == 100  # capped at total
+
+    def test_append_rejected(self):
+        with pytest.raises(ExternalSystemError):
+            self.make().append(0.0, "x")
+
+    def test_unbounded_partition(self):
+        tp = GeneratedTopicPartition("t", 0, lambda p, off: off, 10.0, None)
+        assert tp.next_arrival_after(10**9) == 10**8
+        assert tp.end_offset(now=5.0) == 51
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ExternalSystemError):
+            GeneratedTopicPartition("t", 0, lambda p, off: off, 0.0, 10)
+
+
+class TestDurableLog:
+    def test_topics_and_partitions(self):
+        log = DurableLog()
+        log.create_topic("t", 3)
+        assert len(log.partitions_of("t")) == 3
+        log.append("t", 1, 0.0, "x")
+        assert log.topic_size("t") == 1
+
+    def test_unknown_topic_rejected(self):
+        log = DurableLog()
+        with pytest.raises(ExternalSystemError):
+            log.partitions_of("nope")
+        with pytest.raises(ExternalSystemError):
+            log.partition("nope", 0)
+
+    def test_read_all_across_partitions(self):
+        log = DurableLog()
+        log.create_topic("t", 2)
+        log.append("t", 0, 0.0, "a")
+        log.append("t", 1, 0.0, "b")
+        assert sorted(log.read_all("t")) == ["a", "b"]
+
+    def test_zero_partitions_rejected(self):
+        log = DurableLog()
+        with pytest.raises(ExternalSystemError):
+            log.create_topic("t", 0)

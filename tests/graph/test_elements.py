@@ -1,0 +1,55 @@
+"""Tests for stream element semantics."""
+
+from repro.graph.elements import (
+    CheckpointBarrier,
+    EndOfStream,
+    StreamRecord,
+    Watermark,
+)
+
+
+def test_record_kind_flags():
+    record = StreamRecord(1)
+    assert record.is_record and not record.is_watermark and not record.is_barrier
+    wm = Watermark(1.0)
+    assert wm.is_watermark and not wm.is_record
+    barrier = CheckpointBarrier(1)
+    assert barrier.is_barrier and not barrier.is_record
+
+
+def test_record_equality_ignores_created_at():
+    a = StreamRecord(1, timestamp=2.0, key="k", created_at=0.5)
+    b = StreamRecord(1, timestamp=2.0, key="k", created_at=9.9)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_record_with_value_inherits_metadata():
+    base = StreamRecord(1, timestamp=2.0, key="k", created_at=0.5)
+    derived = base.with_value(99)
+    assert derived.value == 99
+    assert derived.timestamp == 2.0
+    assert derived.key == "k"
+    assert derived.created_at == 0.5
+    rekeyed = base.with_value(99, key="other")
+    assert rekeyed.key == "other"
+
+
+def test_control_element_equality():
+    assert Watermark(3.0) == Watermark(3.0)
+    assert Watermark(3.0) != Watermark(4.0)
+    assert CheckpointBarrier(1) == CheckpointBarrier(1)
+    assert CheckpointBarrier(1) != CheckpointBarrier(2)
+    assert EndOfStream() == EndOfStream()
+
+
+def test_elements_are_hashable():
+    seen = {StreamRecord(1), Watermark(1.0), CheckpointBarrier(1), EndOfStream()}
+    assert len(seen) == 4
+
+
+def test_reprs_are_informative():
+    assert "StreamRecord" in repr(StreamRecord(1, key="k"))
+    assert "Watermark" in repr(Watermark(1.0))
+    assert "CheckpointBarrier" in repr(CheckpointBarrier(2))
+    assert "EndOfStream" in repr(EndOfStream())

@@ -1,0 +1,172 @@
+"""Tests for operator chaining (fusion)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.config import FaultToleranceMode
+from repro.external.kafka import DurableLog
+from repro.graph.fusion import ChainedOperator, fuse
+from repro.graph.logical import JobGraphBuilder
+from repro.operators import (
+    CountAggregator,
+    EventTimeWindowOperator,
+    FilterOperator,
+    KafkaSink,
+    KafkaSource,
+    KeyedCounterOperator,
+    MapOperator,
+)
+from repro.runtime.jobmanager import JobManager
+from repro.sim.core import Environment
+
+from tests.operators.helpers import OperatorHarness
+from tests.runtime.helpers import make_config, sink_values
+
+
+def pipeline_graph(log, parallelism=2):
+    """src -> map -> filter -> (keyBy) count -> format -> sink:
+    map+filter chain; count+format+sink chain."""
+    builder = JobGraphBuilder("fusable")
+    stream = builder.source("src", lambda: KafkaSource(log, "in"),
+                            parallelism=parallelism)
+    doubled = stream.process("double", lambda: MapOperator(lambda v: v * 2))
+    kept = doubled.process("keep", lambda: FilterOperator(lambda v: v % 4 == 0))
+    counted = kept.key_by(lambda v: v % 5).process(
+        "count", lambda: KeyedCounterOperator()
+    )
+    shaped = counted.process("shape", lambda: MapOperator(lambda kv: kv))
+    shaped.sink("sink", lambda: KafkaSink(log, "out"))
+    return builder.build()
+
+
+class TestFuseRewrite:
+    def test_chains_are_merged(self):
+        log = DurableLog()
+        log.create_generated_topic("in", 2, lambda p, off: off, 1000.0, 10)
+        log.create_topic("out", 2)
+        graph = pipeline_graph(log)
+        fused = fuse(graph)
+        names = {node.name for node in fused.nodes}
+        assert names == {"src", "double+keep", "count+shape+sink", }
+        assert fused.depth == 2
+        # The hash edge survives; forward edges inside chains are gone.
+        assert len(fused.edges) == 2
+
+    def test_sources_are_not_fused(self):
+        log = DurableLog()
+        log.create_generated_topic("in", 2, lambda p, off: off, 1000.0, 10)
+        log.create_topic("out", 2)
+        fused = fuse(pipeline_graph(log))
+        src = fused.node_by_name("src")
+        assert src.is_source and "+" not in src.name
+
+    def test_fan_out_blocks_fusion(self):
+        log = DurableLog()
+        log.create_generated_topic("in", 1, lambda p, off: off, 1000.0, 10)
+        log.create_topic("out", 1)
+        builder = JobGraphBuilder("fanout")
+        src = builder.source("src", lambda: KafkaSource(log, "in"))
+        mid = src.process("mid", lambda: MapOperator(lambda v: v))
+        mid.process("a", lambda: MapOperator(lambda v: v)).sink(
+            "sa", lambda: KafkaSink(log, "out"))
+        mid.process("b", lambda: MapOperator(lambda v: v)).sink(
+            "sb", lambda: KafkaSink(log, "out"))
+        fused = fuse(builder.build())
+        # mid has two outputs: it must not fuse with either branch head,
+        # but each branch fuses with its sink.
+        names = {node.name for node in fused.nodes}
+        assert "mid" in names
+        assert "a+sa" in names and "b+sb" in names
+
+
+class TestChainedOperatorUnit:
+    def test_cascade_through_stages(self):
+        chained = ChainedOperator(
+            [MapOperator(lambda v: v + 1), FilterOperator(lambda v: v % 2 == 0)]
+        )
+        h = OperatorHarness(chained)
+        for v in range(4):
+            h.send(v)
+        assert h.values == [2, 4]
+
+    def test_state_names_do_not_collide(self):
+        chained = ChainedOperator([KeyedCounterOperator(), KeyedCounterOperator()])
+        h = OperatorHarness(chained)
+        h.send(1, key="k")
+        # Stage 0 emits ("k", 1); stage 1 counts that record independently.
+        assert h.values == [(None, 1)] or h.values == [("k", 1)]
+        names = set(h.backend._tables)
+        assert names == {"chain0.count", "chain1.count"}
+
+    def test_snapshot_restore_per_stage(self):
+        first = KeyedCounterOperator()
+        chained = ChainedOperator([first, MapOperator(lambda v: v)])
+        h = OperatorHarness(chained)
+        h.send(1, key="k")
+        state = chained.snapshot()
+        restored = ChainedOperator([KeyedCounterOperator(), MapOperator(lambda v: v)])
+        restored.restore(state)
+        assert restored.operators[0] is not first
+
+    def test_windows_inside_chain_fire_via_routed_timers(self):
+        chained = ChainedOperator(
+            [
+                MapOperator(lambda v: v),
+                EventTimeWindowOperator(
+                    10.0, CountAggregator(), result_fn=lambda k, w, c: ("win", c)
+                ),
+            ]
+        )
+        h = OperatorHarness(chained)
+        h.send("x", timestamp=1.0, key="k")
+        h.send("y", timestamp=2.0, key="k")
+        h.advance_watermark(10.0)
+        assert h.values == [("win", 2)]
+
+    def test_determinism_flag_aggregates(self):
+        from repro.operators import ProcessOperator
+
+        det = ChainedOperator([MapOperator(lambda v: v)])
+        assert det.deterministic
+        nondet = ChainedOperator(
+            [MapOperator(lambda v: v), ProcessOperator(lambda r, c: None)]
+        )
+        assert not nondet.deterministic
+
+
+class TestFusedExecution:
+    def run_job(self, fused: bool, kill: bool = False):
+        env = Environment()
+        log = DurableLog()
+        log.create_generated_topic("in", 2, lambda p, off: off, 1500.0, 2000)
+        log.create_topic("out", 2)
+        graph = pipeline_graph(log)
+        if fused:
+            graph = fuse(graph)
+        config = make_config(FaultToleranceMode.CLONOS, checkpoint_interval=0.4)
+        jm = JobManager(env, graph, config)
+        jm.deploy()
+        if kill:
+            # Kill a non-sink chain: sink-task failures duplicate external
+            # appends by design (the §5.5 output-commit problem).
+            victim = "double+keep[0]" if fused else "keep[0]"
+            env.schedule_callback(0.6, lambda: jm.kill_task(victim))
+        jm.run_until_done(limit=300)
+        return Counter(sink_values(log)), jm
+
+    def test_fused_output_matches_unfused(self):
+        fused_counts, _ = self.run_job(fused=True)
+        plain_counts, _ = self.run_job(fused=False)
+        assert fused_counts == plain_counts
+
+    def test_fused_job_uses_fewer_tasks(self):
+        _c1, jm_fused = self.run_job(fused=True)
+        _c2, jm_plain = self.run_job(fused=False)
+        assert len(jm_fused.vertices) < len(jm_plain.vertices)
+
+    def test_fused_task_recovers_exactly_once(self):
+        baseline, _ = self.run_job(fused=True)
+        with_failure, jm = self.run_job(fused=True, kill=True)
+        assert jm.failures_injected
+        assert with_failure == baseline

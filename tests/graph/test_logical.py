@@ -1,0 +1,87 @@
+"""Tests for job graph construction and validation."""
+
+import pytest
+
+from repro.errors import JobError
+from repro.graph.logical import FORWARD, HASH, JobGraphBuilder
+from repro.operators import MapOperator
+
+
+def noop_factory():
+    return MapOperator(lambda v: v)
+
+
+def test_linear_graph_depth_and_order():
+    builder = JobGraphBuilder("linear")
+    (
+        builder.source("src", noop_factory, parallelism=2)
+        .process("a", noop_factory)
+        .process("b", noop_factory)
+        .sink("out", noop_factory)
+    )
+    graph = builder.build()
+    assert graph.depth == 3
+    assert [n.name for n in graph.topological_order()] == ["src", "a", "b", "out"]
+    assert graph.total_tasks == 8
+
+
+def test_key_by_sets_hash_edge():
+    builder = JobGraphBuilder("keyed")
+    src = builder.source("src", noop_factory, parallelism=2)
+    src.key_by(lambda v: v).process("agg", noop_factory).sink("out", noop_factory)
+    graph = builder.build()
+    edge = graph.node_by_name("agg").inputs[0]
+    assert edge.partitioning == HASH
+    assert edge.key_selector(42) == 42
+
+
+def test_forward_edge_requires_equal_parallelism():
+    builder = JobGraphBuilder("bad")
+    src = builder.source("src", noop_factory, parallelism=2)
+    with pytest.raises(JobError):
+        src.process("a", noop_factory, parallelism=3)
+
+
+def test_two_input_connect():
+    builder = JobGraphBuilder("join")
+    left = builder.source("left", noop_factory).key_by(lambda v: v)
+    right = builder.source("right", noop_factory).key_by(lambda v: v)
+    joined = builder.connect(left, right, "join", noop_factory)
+    joined.sink("out", noop_factory)
+    graph = builder.build()
+    join_node = graph.node_by_name("join")
+    assert [e.input_index for e in join_node.inputs] == [0, 1]
+    assert graph.depth == 2
+
+
+def test_diamond_depth_is_longest_path():
+    builder = JobGraphBuilder("diamond")
+    src = builder.source("src", noop_factory)
+    short = src.rebalance().process("short", noop_factory)
+    long1 = src.rebalance().process("l1", noop_factory)
+    long2 = long1.rebalance().process("l2", noop_factory)
+    builder.connect(short.rebalance(), long2.rebalance(), "merge", noop_factory)
+    graph = builder.build()
+    assert graph.depth == 3
+
+
+def test_duplicate_names_rejected():
+    builder = JobGraphBuilder("dup")
+    builder.source("x", noop_factory)
+    with pytest.raises(JobError):
+        builder.source("x", noop_factory)
+
+
+def test_graph_without_source_rejected():
+    builder = JobGraphBuilder("empty")
+    with pytest.raises(JobError):
+        builder.build()
+
+
+def test_hash_edge_without_selector_rejected():
+    from repro.graph.logical import LogicalEdge, LogicalNode
+
+    a = LogicalNode(0, "a", noop_factory, 1, is_source=True)
+    b = LogicalNode(1, "b", noop_factory, 1)
+    with pytest.raises(JobError):
+        LogicalEdge(a, b, HASH)

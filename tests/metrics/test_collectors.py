@@ -1,0 +1,100 @@
+"""Unit tests for the measurement layer."""
+
+import pytest
+
+from repro.external.kafka import DurableLog
+from repro.metrics.collectors import (
+    LatencyPoint,
+    ThroughputSampler,
+    latency_points,
+    percentile,
+    recovery_time,
+    throughput_dip,
+)
+from repro.operators.sink import SinkEntry
+from repro.sim.core import Environment
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_median_and_extremes(self):
+        values = list(range(1, 102))  # 1..101
+        assert percentile(values, 0) == 1
+        assert percentile(values, 50) == 51
+        assert percentile(values, 100) == 101
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 3], 50) == 3
+
+
+class TestThroughputSampler:
+    def test_samples_rate_of_new_records(self):
+        env = Environment()
+        log = DurableLog()
+        log.create_topic("out", 1)
+
+        def producer():
+            for i in range(100):
+                yield env.timeout(0.01)
+                log.append("out", 0, env.now, SinkEntry(i, env.now, env.now))
+
+        env.process(producer())
+        sampler = ThroughputSampler(env, log, "out", period=0.5)
+        env.run(until=1.0)
+        sampler.stop()
+        # 100 records/s steady rate.
+        assert all(abs(s.records_per_second - 100.0) < 10 for s in sampler.samples)
+        assert sampler.mean_rate() == pytest.approx(100.0, rel=0.1)
+
+
+class TestLatencyPoints:
+    def test_uses_created_at_when_present(self):
+        log = DurableLog()
+        log.create_topic("out", 1)
+        log.append("out", 0, 5.0, SinkEntry("v", 4.0, 1.0))
+        points = latency_points(log, "out")
+        assert points == [LatencyPoint(5.0, 1.0)]
+
+    def test_falls_back_to_event_time(self):
+        log = DurableLog()
+        log.create_topic("out", 1)
+        log.append("out", 0, 5.0, SinkEntry("v", None, 4.5))
+        assert latency_points(log, "out") == [LatencyPoint(5.0, 0.5)]
+
+    def test_skips_infinite_event_times(self):
+        log = DurableLog()
+        log.create_topic("out", 1)
+        log.append("out", 0, 5.0, SinkEntry("v", None, float("inf")))
+        assert latency_points(log, "out") == []
+
+
+class TestRecoveryTime:
+    def baseline(self, latency=0.01, until=10.0):
+        return [LatencyPoint(t / 10.0, latency) for t in range(int(until * 10))]
+
+    def test_zero_when_nothing_exceeds_envelope(self):
+        points = self.baseline() + [LatencyPoint(11.0, 0.0101)]
+        assert recovery_time(points, failure_time=10.0) == 0.0
+
+    def test_last_late_record_defines_recovery(self):
+        points = self.baseline()
+        points += [LatencyPoint(10.5, 5.0), LatencyPoint(13.0, 2.0),
+                   LatencyPoint(14.0, 0.01)]
+        assert recovery_time(points, failure_time=10.0) == pytest.approx(3.0)
+
+    def test_none_without_baseline(self):
+        points = [LatencyPoint(11.0, 5.0)]
+        assert recovery_time(points, failure_time=10.0) is None
+
+
+class TestThroughputDip:
+    def test_baseline_and_worst(self):
+        from repro.metrics.collectors import ThroughputSample
+
+        samples = [ThroughputSample(t / 2.0, 100.0) for t in range(20)]
+        samples += [ThroughputSample(10.5, 0.0), ThroughputSample(11.0, 50.0)]
+        baseline, worst = throughput_dip(samples, failure_time=10.0)
+        assert baseline == pytest.approx(100.0)
+        assert worst == 0.0

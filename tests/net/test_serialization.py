@@ -1,0 +1,58 @@
+"""Tests for the serialized-size model."""
+
+from repro.graph.elements import CheckpointBarrier, StreamRecord, Watermark
+from repro.net.serialization import element_size, payload_size, register_sizer
+
+
+def test_scalar_sizes():
+    assert payload_size(None) == 1
+    assert payload_size(True) == 1
+    assert payload_size(12345) == 8
+    assert payload_size(3.14) == 8
+    assert payload_size("abc") == 7
+    assert payload_size(b"abcd") == 8
+
+
+def test_container_sizes_are_recursive():
+    assert payload_size((1, 2)) == 4 + 16
+    assert payload_size([1, "ab"]) == 4 + 8 + 6
+    assert payload_size({"k": 1}) == 4 + 5 + 8
+
+
+def test_record_size_includes_header():
+    record = StreamRecord(100, timestamp=1.0, key="k")
+    assert element_size(record) == 4 + 20 + 8
+
+
+def test_control_element_sizes():
+    assert element_size(Watermark(1.0)) == 12
+    assert element_size(CheckpointBarrier(3)) == 12
+
+
+def test_custom_sizer_registration():
+    class Trade:
+        def __init__(self, qty):
+            self.qty = qty
+
+    register_sizer(Trade, lambda t: 99)
+    assert payload_size(Trade(5)) == 99
+
+
+def test_object_with_dict_falls_back_to_fields():
+    class Point:
+        def __init__(self):
+            self.x = 1
+            self.y = 2.0
+
+    assert payload_size(Point()) == 4 + 8 + 8
+
+
+def test_slots_object_size():
+    class Slotted:
+        __slots__ = ("a", "b")
+
+        def __init__(self):
+            self.a = 1
+            self.b = "xy"
+
+    assert payload_size(Slotted()) == 4 + 8 + 6

@@ -1,0 +1,142 @@
+"""Unit tests for the writer's recovery mechanics: forced cuts, suppression,
+buffer-pool accounting."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.graph.elements import StreamRecord
+from repro.net import (
+    BufferPool,
+    HashPartitioner,
+    InputChannel,
+    NetworkLink,
+    OutputChannel,
+    RecordWriter,
+)
+from repro.net.serialization import element_size
+from repro.sim import Environment
+
+
+def build_channel(env, cost, input_capacity=64, pool_buffers=16):
+    pool = BufferPool(
+        env, pool_buffers * cost.buffer_size_bytes, cost.buffer_size_bytes, "out"
+    )
+    link = NetworkLink(env, cost, "l")
+    receiver = InputChannel(env, 0, capacity=input_capacity)
+    link.attach_receiver(receiver)
+    channel = OutputChannel(env, cost, 0, link, pool, charge=lambda s: None)
+    return channel, receiver, pool
+
+
+def run(env, gen):
+    env.process(gen)
+    env.run()
+
+
+def test_forced_cuts_reproduce_boundaries():
+    env = Environment()
+    cost = CostModel(buffer_size_bytes=4096)
+    channel, receiver, _pool = build_channel(env, cost)
+    channel.forced_cuts.extend([2, 3, 1])
+
+    def producer():
+        for i in range(6):
+            record = StreamRecord(i, key=0)
+            yield from channel.append_element(record, element_size(record))
+
+    run(env, producer())
+    sizes = [len(b.elements) for b in receiver.queue.items]
+    assert sizes == [2, 3, 1]
+
+
+def test_forced_cuts_override_size_based_cut():
+    env = Environment()
+    cost = CostModel(buffer_size_bytes=64)  # would normally cut every record
+    channel, receiver, _pool = build_channel(env, cost)
+    channel.forced_cuts.extend([5])
+
+    def producer():
+        for i in range(5):
+            record = StreamRecord(i, key=0)
+            yield from channel.append_element(record, element_size(record))
+
+    run(env, producer())
+    # One buffer with 5 elements, despite exceeding the nominal buffer size.
+    assert [len(b.elements) for b in receiver.queue.items] == [5]
+
+
+def test_suppression_skips_wire_but_advances_seq():
+    env = Environment()
+    cost = CostModel(buffer_size_bytes=4096)
+    channel, receiver, pool = build_channel(env, cost)
+    channel.suppress_until_seq = 1  # buffers 0 and 1 already delivered
+
+    def producer():
+        for i in range(4):
+            record = StreamRecord(i, key=0)
+            yield from channel.append_element(record, element_size(record))
+            yield from channel.flush("test")
+
+    run(env, producer())
+    seqs = [b.seq for b in receiver.queue.items]
+    assert seqs == [2, 3]
+    assert channel.seq == 4
+    # Suppressed buffers were recycled (no in-flight log here): no pool leak.
+    in_queue = len(receiver.queue.items)
+    assert pool.in_use_buffers == in_queue
+
+
+def test_timer_flush_skipped_while_forced_cuts_pending():
+    env = Environment()
+    cost = CostModel(buffer_size_bytes=4096)
+    channel, _receiver, _pool = build_channel(env, cost)
+    channel.forced_cuts.extend([10])
+
+    def producer():
+        record = StreamRecord(1, key=0)
+        yield from channel.append_element(record, element_size(record))
+
+    run(env, producer())
+    assert channel.try_flush_from_timer() is None
+
+
+def test_buffer_pool_peak_tracking():
+    env = Environment()
+    cost = CostModel(buffer_size_bytes=4096)
+    channel, receiver, pool = build_channel(env, cost, input_capacity=64)
+
+    def producer():
+        for i in range(8):
+            record = StreamRecord(i, key=0)
+            yield from channel.append_element(record, element_size(record))
+            yield from channel.flush("test")
+
+    run(env, producer())
+    assert pool.peak_in_use >= 1
+    assert pool.peak_in_use <= pool.total_buffers
+
+
+def test_writer_broadcast_goes_to_every_channel():
+    env = Environment()
+    cost = CostModel(buffer_size_bytes=4096)
+    pool = BufferPool(env, 16 * cost.buffer_size_bytes, cost.buffer_size_bytes, "o")
+    receivers = []
+    channels = []
+    for i in range(3):
+        link = NetworkLink(env, cost, f"l{i}")
+        receiver = InputChannel(env, i, capacity=16)
+        link.attach_receiver(receiver)
+        receivers.append(receiver)
+        channels.append(OutputChannel(env, cost, i, link, pool, lambda s: None))
+    writer = RecordWriter(env, cost, channels, HashPartitioner(), lambda s: None)
+
+    from repro.graph.elements import Watermark
+
+    def producer():
+        yield from writer.broadcast(Watermark(7.0))
+        yield from writer.flush_all()
+
+    run(env, producer())
+    for receiver in receivers:
+        elements = [el for b in receiver.queue.items for el in b.elements]
+        assert elements == [Watermark(7.0)]

@@ -1,0 +1,79 @@
+"""Tests for the deterministic Nexmark generator."""
+
+from collections import Counter
+
+from repro.external.kafka import DurableLog
+from repro.nexmark.generator import (
+    AUCTION_PROPORTION,
+    BID_PROPORTION,
+    PERSON_PROPORTION,
+    PROPORTION_DENOMINATOR,
+    NexmarkGenerator,
+)
+from repro.nexmark.model import Auction, Bid, Person
+
+
+def test_generation_is_deterministic():
+    g1 = NexmarkGenerator(seed=1)
+    g2 = NexmarkGenerator(seed=1)
+    for off in range(200):
+        assert repr(g1.generate(0, off)) == repr(g2.generate(0, off))
+
+
+def test_different_seeds_differ():
+    g1, g2 = NexmarkGenerator(seed=1), NexmarkGenerator(seed=2)
+    assert any(
+        repr(g1.generate(0, off)) != repr(g2.generate(0, off)) for off in range(50)
+    )
+
+
+def test_event_mix_matches_proportions():
+    gen = NexmarkGenerator()
+    kinds = Counter(type(gen.generate(0, off)).__name__ for off in range(500))
+    assert kinds["Person"] == 500 * PERSON_PROPORTION // PROPORTION_DENOMINATOR
+    assert kinds["Auction"] == 500 * AUCTION_PROPORTION // PROPORTION_DENOMINATOR
+    assert kinds["Bid"] == 500 * BID_PROPORTION // PROPORTION_DENOMINATOR
+
+
+def test_bids_reference_existing_auctions():
+    gen = NexmarkGenerator()
+    auction_ids = set()
+    for off in range(1000):
+        event = gen.generate(0, off)
+        if isinstance(event, Auction):
+            auction_ids.add(event.auction_id)
+        elif isinstance(event, Bid):
+            assert event.auction in auction_ids
+
+
+def test_auctions_reference_existing_persons():
+    gen = NexmarkGenerator()
+    person_ids = set()
+    for off in range(1000):
+        event = gen.generate(0, off)
+        if isinstance(event, Person):
+            person_ids.add(event.person_id)
+        elif isinstance(event, Auction):
+            assert event.seller in person_ids
+
+
+def test_partitions_have_disjoint_id_spaces():
+    gen = NexmarkGenerator()
+    ids_p0 = {gen.generate(0, off).person_id for off in range(0, 500, 50)}
+    ids_p1 = {gen.generate(1, off).person_id for off in range(0, 500, 50)}
+    assert not ids_p0 & ids_p1
+
+
+def test_install_topic_serves_by_arrival_time():
+    gen = NexmarkGenerator(rate_per_partition=100.0)
+    log = DurableLog()
+    gen.install_topic(log, "nexmark", partitions=2, total_per_partition=1000)
+    partition = log.partition("nexmark", 0)
+    entries = partition.read(0, 1000, now=1.0)
+    assert len(entries) == 101  # offsets 0..100 available by t=1 at 100/s
+    assert partition.end_offset(float("inf")) == 1000
+
+
+def test_event_times_track_offsets():
+    gen = NexmarkGenerator(rate_per_partition=200.0)
+    assert gen.generate(0, 100).event_time == 0.5

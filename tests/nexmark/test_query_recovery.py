@@ -1,0 +1,76 @@
+"""Recovery on the nondeterministic Nexmark queries (Q12/Q13/Q14).
+
+These are the workloads the paper's introduction motivates: under Clonos a
+mid-query failure must neither crash, nor lose, nor contradict previously
+emitted results.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.config import FaultToleranceMode
+from repro.harness.experiment import run_experiment
+from repro.nexmark.generator import NexmarkGenerator
+from repro.nexmark.queries import QUERIES
+
+from tests.runtime.helpers import make_config
+
+
+def build_query(name, events=3000, rate=1500.0, parallelism=2):
+    def graph_fn(log, external):
+        generator = NexmarkGenerator(seed=5, rate_per_partition=rate)
+        generator.install_topic(log, "nexmark", parallelism, events)
+        log.create_topic("out", parallelism)
+        return QUERIES[name](log, parallelism=parallelism, external=external)
+
+    return graph_fn
+
+
+@pytest.mark.parametrize("name,victim", [
+    ("Q12", "pt-count[0]"),
+    ("Q13", "enrich[0]"),
+    ("Q14", "calc[0]"),
+])
+def test_nondeterministic_query_survives_failure(name, victim):
+    config = make_config(FaultToleranceMode.CLONOS, checkpoint_interval=0.4)
+    result = run_experiment(
+        build_query(name),
+        config,
+        kills=[(0.8, victim)],
+        with_external=(name == "Q13"),
+        limit=600,
+    )
+    assert result.output_values(), f"{name} produced no output after recovery"
+    assert any(kind == "recovered" for _t, kind, _n in result.recovery_events)
+
+
+def test_q13_enrichment_values_unique_per_bid():
+    """Q13 queries the drifting side-input service; after recovery each bid
+    must still have exactly one enrichment (no contradictory re-queries)."""
+    config = make_config(FaultToleranceMode.CLONOS, checkpoint_interval=0.4)
+    result = run_experiment(
+        build_query("Q13", events=4000),
+        config,
+        kills=[(0.8, "enrich[0]")],
+        with_external=True,
+        limit=600,
+    )
+    # With exactly-once + causal replay, no output row is emitted twice —
+    # in particular no bid gets re-enriched with a different (drifted) value
+    # alongside its original one.
+    rows = Counter(result.output_values())
+    assert all(c == 1 for c in rows.values()), "duplicated enrichments"
+
+
+def test_q12_under_flink_also_consistent_after_global_restart():
+    """Sanity: global rollback is exactly-once for state too — only its
+    availability differs (it needs a full restart)."""
+    config = make_config(FaultToleranceMode.GLOBAL_ROLLBACK, checkpoint_interval=0.4)
+    result = run_experiment(
+        build_query("Q12"),
+        config,
+        kills=[(0.8, "pt-count[0]")],
+        limit=600,
+    )
+    assert result.output_values()

@@ -1,0 +1,80 @@
+"""A tiny operator test harness: drive an operator without the runtime."""
+
+from typing import Any, List, Optional
+
+from repro.core.causal_log import CausalLogManager
+from repro.core.recovery import RecoveryManager
+from repro.core.services import CausalServices, NaiveServices
+from repro.graph.elements import StreamRecord
+from repro.operators.base import Context, Operator
+from repro.sim.core import Environment
+from repro.state.backend import HashMapStateBackend
+from repro.timing.timers import TimerService
+
+
+class OperatorHarness:
+    """Feeds records/watermarks into one operator instance and collects its
+    output, emulating the task runtime's keyed dispatch and timer delivery."""
+
+    def __init__(self, operator: Operator, env: Optional[Environment] = None,
+                 causal: bool = False, external=None):
+        self.env = env or Environment()
+        self.operator = operator
+        self.backend = HashMapStateBackend()
+        self.timers = TimerService(self.env)
+        if causal:
+            self.causal = CausalLogManager("t", 1, None)
+            self.recovery = RecoveryManager("t")
+            services = CausalServices(
+                self.env, self.causal, self.recovery, external, "t"
+            )
+        else:
+            self.causal = None
+            self.recovery = None
+            services = NaiveServices(self.env, external, "t")
+        self.ctx = Context("t", 0, 1, self.backend, self.timers, services,
+                           env=self.env)
+        self.outputs: List[Any] = []
+        self.watermark = float("-inf")
+        operator.open(self.ctx)
+
+    def _drain(self) -> None:
+        for record in self.ctx.pending_output:
+            self.outputs.append(record)
+        self.ctx.pending_output = []
+
+    def send(self, value: Any, timestamp: float = 0.0, key: Any = None,
+             input_index: int = 0) -> None:
+        record = StreamRecord(value, timestamp=timestamp, key=key)
+        self.ctx.current_key = key
+        self.ctx.element_timestamp = timestamp
+        self.ctx.element_created_at = None
+        self.ctx.input_index = input_index
+        self.backend.set_current_key(key)
+        self.operator.process(record, self.ctx)
+        self._drain()
+
+    def advance_watermark(self, ts: float) -> None:
+        self.watermark = ts
+        self.ctx.current_watermark = ts
+        for timer in self.timers.advance_watermark(ts):
+            self.fire(timer)
+
+    def fire_due_processing_timers(self) -> None:
+        while self.timers.has_due():
+            self.fire(self.timers.pop_due())
+
+    def fire(self, timer) -> None:
+        self.ctx.current_key = timer.key
+        self.ctx.element_timestamp = timer.fire_time
+        self.backend.set_current_key(timer.key)
+        self.operator.on_timer(timer, self.ctx)
+        self._drain()
+
+    def close(self) -> None:
+        self.operator.close(self.ctx)
+        self._drain()
+
+    @property
+    def values(self) -> List[Any]:
+        return [r.value for r in self.outputs]

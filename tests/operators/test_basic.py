@@ -1,0 +1,119 @@
+"""Unit tests for the basic operator library."""
+
+import pytest
+
+from repro.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyedCounterOperator,
+    KeyedReduceOperator,
+    MapOperator,
+    ProcessOperator,
+    StatefulMapOperator,
+)
+
+from tests.operators.helpers import OperatorHarness
+
+
+def test_map_transforms_each_value():
+    h = OperatorHarness(MapOperator(lambda v: v * 2))
+    for v in (1, 2, 3):
+        h.send(v)
+    assert h.values == [2, 4, 6]
+
+
+def test_map_preserves_time_metadata():
+    h = OperatorHarness(MapOperator(str))
+    h.send(7, timestamp=3.5)
+    assert h.outputs[0].timestamp == 3.5
+
+
+def test_filter_keeps_matching():
+    h = OperatorHarness(FilterOperator(lambda v: v % 2 == 0))
+    for v in range(6):
+        h.send(v)
+    assert h.values == [0, 2, 4]
+
+
+def test_flat_map_expands_and_contracts():
+    h = OperatorHarness(FlatMapOperator(lambda v: [v] * v))
+    for v in (0, 1, 3):
+        h.send(v)
+    assert h.values == [1, 3, 3, 3]
+
+
+def test_keyed_reduce_accumulates_per_key():
+    h = OperatorHarness(KeyedReduceOperator(lambda a, b: a + b))
+    h.send(1, key="a")
+    h.send(2, key="a")
+    h.send(10, key="b")
+    h.send(3, key="a")
+    assert h.values == [1, 3, 10, 6]
+
+
+def test_keyed_counter_counts_per_key():
+    h = OperatorHarness(KeyedCounterOperator())
+    for key in ("x", "y", "x", "x"):
+        h.send(0, key=key)
+    assert h.values == [("x", 1), ("y", 1), ("x", 2), ("x", 3)]
+
+
+def test_stateful_map_threads_state():
+    def fn(state, value):
+        state = (state or 0) + value
+        return state, ("sum", state)
+
+    h = OperatorHarness(StatefulMapOperator(fn))
+    h.send(5, key="k")
+    h.send(7, key="k")
+    assert h.values == [("sum", 5), ("sum", 12)]
+
+
+def test_stateful_map_none_output_is_dropped():
+    h = OperatorHarness(StatefulMapOperator(lambda s, v: (v, None)))
+    h.send(1, key="k")
+    assert h.values == []
+
+
+def test_process_operator_runs_hooks():
+    opened = []
+
+    def fn(record, ctx):
+        ctx.collect(record.value + 1)
+
+    h = OperatorHarness(ProcessOperator(fn, open_fn=lambda ctx: opened.append(1)))
+    h.send(41)
+    assert h.values == [42]
+    assert opened == [1]
+
+
+def test_process_operator_timer_hook():
+    fired = []
+
+    def fn(record, ctx):
+        ctx.register_processing_timer(1.0, "demo", payload=record.value)
+
+    def on_timer(timer, ctx):
+        fired.append(timer.payload)
+        ctx.collect(("timer", timer.payload))
+
+    h = OperatorHarness(ProcessOperator(fn, timer_fn=on_timer))
+    h.send("x", key="k")
+    h.env.run(until=2.0)
+    h.fire_due_processing_timers()
+    assert fired == ["x"]
+    assert h.values == [("timer", "x")]
+
+
+def test_default_operator_restore_rejects_state():
+    from repro.errors import StateError
+    from repro.operators.base import Operator
+
+    class Bare(Operator):
+        def process(self, record, ctx):
+            pass
+
+    op = Bare()
+    op.restore(None)  # fine
+    with pytest.raises(StateError):
+        op.restore({"unexpected": 1})

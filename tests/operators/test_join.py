@@ -1,0 +1,90 @@
+"""Unit tests for the join operators."""
+
+from repro.operators.join import FullHistoryJoinOperator, WindowJoinOperator
+
+from tests.operators.helpers import OperatorHarness
+
+
+def pair(left, right):
+    return (left, right)
+
+
+class TestFullHistoryJoin:
+    def test_matches_across_time_both_directions(self):
+        h = OperatorHarness(FullHistoryJoinOperator(pair))
+        h.send("L1", key="k", input_index=0)
+        assert h.values == []
+        h.send("R1", key="k", input_index=1)
+        assert h.values == [("L1", "R1")]
+        h.send("L2", key="k", input_index=0)
+        assert h.values == [("L1", "R1"), ("L2", "R1")]
+
+    def test_join_is_keyed(self):
+        h = OperatorHarness(FullHistoryJoinOperator(pair))
+        h.send("L1", key="a", input_index=0)
+        h.send("R1", key="b", input_index=1)
+        assert h.values == []
+
+    def test_full_history_is_retained(self):
+        h = OperatorHarness(FullHistoryJoinOperator(pair))
+        for i in range(3):
+            h.send(f"L{i}", key="k", input_index=0)
+        h.send("R", key="k", input_index=1)
+        assert sorted(h.values) == [("L0", "R"), ("L1", "R"), ("L2", "R")]
+
+    def test_retention_can_be_disabled_per_side(self):
+        h = OperatorHarness(FullHistoryJoinOperator(pair, retain_left=False))
+        h.send("L1", key="k", input_index=0)
+        h.send("R1", key="k", input_index=1)
+        # L1 was not retained, so R1 found no match.
+        assert h.values == []
+        h.send("L2", key="k", input_index=0)
+        assert h.values == [("L2", "R1")]
+
+
+class TestWindowJoin:
+    def test_same_window_matches_fire_at_window_end(self):
+        h = OperatorHarness(WindowJoinOperator(10.0, pair))
+        h.send("L1", timestamp=2.0, key="k", input_index=0)
+        h.send("R1", timestamp=7.0, key="k", input_index=1)
+        h.advance_watermark(9.9)
+        assert h.values == []
+        h.advance_watermark(10.0)
+        assert h.values == [("L1", "R1")]
+
+    def test_cross_window_records_do_not_match(self):
+        h = OperatorHarness(WindowJoinOperator(10.0, pair))
+        h.send("L1", timestamp=2.0, key="k", input_index=0)
+        h.send("R1", timestamp=12.0, key="k", input_index=1)
+        h.advance_watermark(100.0)
+        assert h.values == []
+
+    def test_cartesian_within_window(self):
+        h = OperatorHarness(WindowJoinOperator(10.0, pair))
+        for left in ("L1", "L2"):
+            h.send(left, timestamp=1.0, key="k", input_index=0)
+        for right in ("R1", "R2"):
+            h.send(right, timestamp=2.0, key="k", input_index=1)
+        h.advance_watermark(10.0)
+        assert sorted(h.values) == [
+            ("L1", "R1"), ("L1", "R2"), ("L2", "R1"), ("L2", "R2")
+        ]
+
+    def test_emit_once_per_key(self):
+        h = OperatorHarness(WindowJoinOperator(10.0, pair, emit_once_per_key=True))
+        for left in ("L1", "L2"):
+            h.send(left, timestamp=1.0, key="k", input_index=0)
+        h.send("R1", timestamp=2.0, key="k", input_index=1)
+        h.advance_watermark(10.0)
+        assert h.values == [("L1", "R1")]
+
+    def test_state_cleared_after_firing(self):
+        h = OperatorHarness(WindowJoinOperator(10.0, pair))
+        h.send("L1", timestamp=1.0, key="k", input_index=0)
+        h.send("R1", timestamp=2.0, key="k", input_index=1)
+        h.advance_watermark(10.0)
+        assert len(h.values) == 1
+        # New window, fresh state: old entries must not resurface.
+        h.send("R2", timestamp=11.0, key="k", input_index=1)
+        h.advance_watermark(20.0)
+        assert h.values == [("L1", "R1")]

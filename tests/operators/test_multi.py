@@ -1,0 +1,81 @@
+"""Unit + integration tests for the two-input combinators."""
+
+from collections import Counter
+
+from repro.config import FaultToleranceMode
+from repro.external.kafka import DurableLog
+from repro.graph.logical import JobGraphBuilder
+from repro.operators import (
+    BroadcastApplyOperator,
+    CoMapOperator,
+    KafkaSink,
+    KafkaSource,
+    UnionOperator,
+)
+from repro.runtime.jobmanager import JobManager
+from repro.sim.core import Environment
+
+from tests.operators.helpers import OperatorHarness
+from tests.runtime.helpers import make_config, sink_values
+
+
+def test_union_passes_both_inputs():
+    h = OperatorHarness(UnionOperator())
+    h.send("a", input_index=0)
+    h.send("b", input_index=1)
+    assert h.values == ["a", "b"]
+
+
+def test_co_map_routes_by_input():
+    h = OperatorHarness(CoMapOperator(lambda v: ("L", v), lambda v: ("R", v)))
+    h.send(1, input_index=0)
+    h.send(2, input_index=1)
+    assert h.values == [("L", 1), ("R", 2)]
+
+
+def test_broadcast_apply_uses_latest_rule():
+    h = OperatorHarness(BroadcastApplyOperator(lambda v, rule: v * (rule or 1)))
+    h.send(5, input_index=0)
+    h.send(10, input_index=1)  # rule update
+    h.send(5, input_index=0)
+    assert h.values == [5, 50]
+
+
+def test_broadcast_apply_rule_survives_snapshot():
+    op = BroadcastApplyOperator(lambda v, rule: (v, rule))
+    h = OperatorHarness(op)
+    h.send(3, input_index=1)
+    state = op.snapshot()
+    other = BroadcastApplyOperator(lambda v, rule: (v, rule))
+    other.restore(state)
+    h2 = OperatorHarness(other)
+    h2.send("x", input_index=0)
+    assert h2.values == [("x", 3)]
+
+
+def test_union_pipeline_exactly_once_under_failure():
+    """Two sources union-merged; kill the union operator mid-run."""
+    env = Environment()
+    log = DurableLog()
+    log.create_generated_topic("left", 1, lambda p, off: ("L", off), 1500.0, 1500)
+    log.create_generated_topic("right", 1, lambda p, off: ("R", off), 1500.0, 1500)
+    log.create_topic("out", 1)
+    config = make_config(FaultToleranceMode.CLONOS, checkpoint_interval=0.3)
+    builder = JobGraphBuilder("union")
+    left = builder.source("lsrc", lambda: KafkaSource(log, "left"))
+    right = builder.source("rsrc", lambda: KafkaSource(log, "right"))
+    merged = builder.connect(
+        left.key_by(lambda v: v[1] % 3),
+        right.key_by(lambda v: v[1] % 3),
+        "union",
+        UnionOperator,
+    )
+    merged.key_by(lambda v: 0).sink("sink", lambda: KafkaSink(log, "out"))
+    jm = JobManager(env, builder.build(), config)
+    jm.deploy()
+    env.schedule_callback(0.5, lambda: jm.kill_task("union[0]"))
+    jm.run_until_done(limit=300)
+    counts = Counter(sink_values(log))
+    expected = {("L", i) for i in range(1500)} | {("R", i) for i in range(1500)}
+    assert set(counts) == expected
+    assert all(c == 1 for c in counts.values())

@@ -1,0 +1,145 @@
+"""Unit tests for sources and sinks."""
+
+import pytest
+
+from repro.errors import StateError
+from repro.external.kafka import DurableLog
+from repro.operators.sink import CollectSink, KafkaSink, SinkEntry, TransactionalKafkaSink
+from repro.operators.source import IteratorSource, KafkaSource
+
+from tests.operators.helpers import OperatorHarness
+
+
+def make_topic(values, rate=100.0):
+    log = DurableLog()
+    log.create_generated_topic(
+        "t", 1, lambda p, off: values[off], rate, total_per_partition=len(values)
+    )
+    return log
+
+
+class TestKafkaSource:
+    def test_poll_respects_arrival_times(self):
+        log = make_topic(list(range(10)), rate=100.0)
+        source = KafkaSource(log, "t")
+        h = OperatorHarness(source)
+        h.env.run(until=0.049)  # 5 records available (offsets 0..4)
+        records, next_arrival = source.poll(h.ctx, 100)
+        assert [r.value for r in records] == [0, 1, 2, 3, 4]
+        assert next_arrival == pytest.approx(0.05)
+
+    def test_poll_batches(self):
+        log = make_topic(list(range(10)))
+        source = KafkaSource(log, "t")
+        h = OperatorHarness(source)
+        h.env.run(until=1.0)
+        records, _ = source.poll(h.ctx, 3)
+        assert len(records) == 3
+        records, _ = source.poll(h.ctx, 100)
+        assert len(records) == 7
+
+    def test_offset_snapshot_restore_replays(self):
+        log = make_topic(list(range(10)))
+        source = KafkaSource(log, "t")
+        h = OperatorHarness(source)
+        h.env.run(until=1.0)
+        source.poll(h.ctx, 4)
+        snap = source.snapshot()
+        source.poll(h.ctx, 100)
+        source.restore(snap)
+        records, _ = source.poll(h.ctx, 100)
+        assert [r.value for r in records] == [4, 5, 6, 7, 8, 9]
+
+    def test_poll_before_open_raises(self):
+        log = make_topic([1])
+        source = KafkaSource(log, "t")
+        import types
+
+        fake_ctx = types.SimpleNamespace(now=0.0, subtask_index=0)
+        with pytest.raises(StateError):
+            source.poll(fake_ctx, 1)
+
+    def test_key_and_timestamp_extractors(self):
+        log = make_topic([("k1", 10.0), ("k2", 20.0)])
+        source = KafkaSource(
+            log, "t",
+            timestamp_fn=lambda v, arrival: v[1],
+            key_fn=lambda v: v[0],
+        )
+        h = OperatorHarness(source)
+        h.env.run(until=1.0)
+        records, _ = source.poll(h.ctx, 10)
+        assert [(r.key, r.timestamp) for r in records] == [("k1", 10.0), ("k2", 20.0)]
+
+    def test_watermark_generator_tracks_event_time(self):
+        log = make_topic([5.0, 9.0], rate=100.0)
+        source = KafkaSource(
+            log, "t", timestamp_fn=lambda v, a: v, lateness=1.0
+        )
+        h = OperatorHarness(source)
+        h.env.run(until=1.0)
+        source.poll(h.ctx, 10)
+        assert source.watermark_generator().next_watermark() == 8.0
+
+
+class TestIteratorSource:
+    def test_emits_all_then_none(self):
+        source = IteratorSource([1, 2, 3])
+        h = OperatorHarness(source)
+        records, next_arrival = source.poll(h.ctx, 10)
+        assert [r.value for r in records] == [1, 2, 3]
+        assert next_arrival is None
+        assert source.poll(h.ctx, 10) == ([], None)
+
+
+class TestSinks:
+    def test_kafka_sink_appends_immediately(self):
+        log = DurableLog()
+        log.create_topic("out", 1)
+        sink = KafkaSink(log, "out")
+        h = OperatorHarness(sink)
+        h.send("v1", timestamp=1.0)
+        assert [e.value for e in log.read_all("out")] == ["v1"]
+        assert sink.appended == 1
+
+    def test_transactional_sink_commits_on_checkpoint_complete(self):
+        log = DurableLog()
+        log.create_topic("out", 1)
+        sink = TransactionalKafkaSink(log, "out")
+        h = OperatorHarness(sink)
+        h.send("a")
+        sink.on_barrier(1, h.ctx)
+        h.send("b")
+        assert log.read_all("out") == []  # nothing visible yet
+        sink.on_checkpoint_complete(1, h.ctx)
+        assert [e.value for e in log.read_all("out")] == ["a"]
+        sink.on_checkpoint_complete(2, h.ctx)
+        assert [e.value for e in log.read_all("out")] == ["a", "b"]
+
+    def test_transactional_sink_discards_pending_on_restore(self):
+        log = DurableLog()
+        log.create_topic("out", 1)
+        sink = TransactionalKafkaSink(log, "out")
+        h = OperatorHarness(sink)
+        sink.on_barrier(1, h.ctx)
+        h.send("uncommitted")
+        snap = sink.snapshot()
+        sink.restore(snap)
+        sink.on_checkpoint_complete(5, h.ctx)
+        assert log.read_all("out") == []  # the abort path
+
+    def test_transactional_sink_close_commits_tail(self):
+        log = DurableLog()
+        log.create_topic("out", 1)
+        sink = TransactionalKafkaSink(log, "out")
+        h = OperatorHarness(sink)
+        h.send("tail")
+        h.close()
+        assert [e.value for e in log.read_all("out")] == ["tail"]
+
+    def test_collect_sink(self):
+        collected = []
+        h = OperatorHarness(CollectSink(collected))
+        h.send(1)
+        h.send(2)
+        assert collected == [1, 2]

@@ -1,0 +1,178 @@
+"""Unit tests for the window operators."""
+
+import pytest
+
+from repro.operators.window import (
+    AvgAggregator,
+    CountAggregator,
+    EventTimeWindowOperator,
+    ListAggregator,
+    MaxAggregator,
+    ProcessingTimeWindowOperator,
+    SessionWindowOperator,
+    SumAggregator,
+)
+
+from tests.operators.helpers import OperatorHarness
+
+
+class TestAggregators:
+    def test_count(self):
+        agg = CountAggregator()
+        acc = agg.create()
+        for _ in range(3):
+            acc = agg.add(acc, object())
+        assert agg.result(acc) == 3
+
+    def test_sum_with_extractor(self):
+        agg = SumAggregator(lambda pair: pair[1])
+        acc = agg.create()
+        for v in ((None, 1.5), (None, 2.5)):
+            acc = agg.add(acc, v)
+        assert agg.result(acc) == 4.0
+
+    def test_avg(self):
+        agg = AvgAggregator()
+        acc = agg.create()
+        for v in (2.0, 4.0, 6.0):
+            acc = agg.add(acc, v)
+        assert agg.result(acc) == 4.0
+        assert agg.result(agg.create()) == 0.0  # empty window
+
+    def test_max_keeps_argmax(self):
+        agg = MaxAggregator(lambda t: t[1])
+        acc = agg.create()
+        for v in (("a", 3), ("b", 9), ("c", 5)):
+            acc = agg.add(acc, v)
+        assert agg.result(acc) == ("b", 9)
+
+    def test_list_collects(self):
+        agg = ListAggregator()
+        acc = agg.create()
+        for v in (1, 2):
+            acc = agg.add(acc, v)
+        assert agg.result(acc) == [1, 2]
+
+
+class TestEventTimeTumbling:
+    def test_fires_when_watermark_passes_end(self):
+        h = OperatorHarness(EventTimeWindowOperator(10.0, CountAggregator()))
+        for ts in (1.0, 5.0, 9.9):
+            h.send("x", timestamp=ts, key="k")
+        h.advance_watermark(9.9)
+        assert h.values == []
+        h.advance_watermark(10.0)
+        assert h.values == [3]
+
+    def test_result_fn_receives_key_and_window(self):
+        h = OperatorHarness(
+            EventTimeWindowOperator(
+                10.0,
+                CountAggregator(),
+                result_fn=lambda key, window, count: (key, window.start, count),
+            )
+        )
+        h.send("x", timestamp=3.0, key="k")
+        h.advance_watermark(10.0)
+        assert h.values == [("k", 0.0, 1)]
+
+    def test_windows_are_per_key(self):
+        h = OperatorHarness(
+            EventTimeWindowOperator(
+                10.0, CountAggregator(), result_fn=lambda k, w, c: (k, c)
+            )
+        )
+        h.send("x", timestamp=1.0, key="a")
+        h.send("x", timestamp=2.0, key="b")
+        h.send("x", timestamp=3.0, key="a")
+        h.advance_watermark(10.0)
+        assert sorted(h.values) == [("a", 2), ("b", 1)]
+
+    def test_late_records_are_dropped(self):
+        h = OperatorHarness(EventTimeWindowOperator(10.0, CountAggregator()))
+        h.send("x", timestamp=5.0, key="k")
+        h.advance_watermark(10.0)
+        h.send("late", timestamp=6.0, key="k")  # watermark already past
+        h.advance_watermark(20.0)
+        assert h.values == [1]
+
+    def test_output_timestamp_is_window_max_timestamp(self):
+        h = OperatorHarness(EventTimeWindowOperator(10.0, CountAggregator()))
+        h.send("x", timestamp=5.0, key="k")
+        h.advance_watermark(10.0)
+        assert h.outputs[0].timestamp == pytest.approx(10.0 - 1e-6)
+
+
+class TestEventTimeSliding:
+    def test_record_lands_in_all_overlapping_windows(self):
+        h = OperatorHarness(
+            EventTimeWindowOperator(
+                10.0,
+                CountAggregator(),
+                slide=5.0,
+                result_fn=lambda k, w, c: (w.start, c),
+            )
+        )
+        h.send("x", timestamp=12.0, key="k")
+        h.advance_watermark(100.0)
+        assert sorted(h.values) == [(5.0, 1), (10.0, 1)]
+
+
+class TestProcessingTime:
+    def test_fires_on_processing_timer(self):
+        h = OperatorHarness(ProcessingTimeWindowOperator(1.0, CountAggregator()))
+        h.send("x", key="k")
+        h.send("y", key="k")
+        h.env.run(until=1.5)
+        h.fire_due_processing_timers()
+        assert h.values == [2]
+
+    def test_close_flushes_pending_windows(self):
+        h = OperatorHarness(ProcessingTimeWindowOperator(100.0, CountAggregator()))
+        h.send("x", key="a")
+        h.send("y", key="b")
+        h.close()
+        assert sorted(h.values) == [1, 1]
+
+    def test_uses_timestamp_service(self):
+        h = OperatorHarness(
+            ProcessingTimeWindowOperator(1.0, CountAggregator()), causal=True
+        )
+        h.send("x", key="k")
+        # The window assignment drew the clock through the causal service:
+        # a Timestamp determinant was logged.
+        kinds = [d.kind for d in h.causal.bundle.log("main").entries(0)]
+        assert "timestamp" in kinds
+
+
+class TestSessions:
+    def session_op(self):
+        return SessionWindowOperator(
+            gap=5.0,
+            aggregator=CountAggregator(),
+            result_fn=lambda k, w, c: (k, w.start, w.end, c),
+        )
+
+    def test_single_session_fires_after_gap(self):
+        h = OperatorHarness(self.session_op())
+        h.send("x", timestamp=1.0, key="k")
+        h.send("x", timestamp=3.0, key="k")
+        h.advance_watermark(7.9)
+        assert h.values == []
+        h.advance_watermark(8.0)
+        assert h.values == [("k", 1.0, 8.0, 2)]
+
+    def test_sessions_merge_on_overlap(self):
+        h = OperatorHarness(self.session_op())
+        h.send("x", timestamp=1.0, key="k")
+        h.send("x", timestamp=10.0, key="k")   # separate session (gap 5)
+        h.send("x", timestamp=5.0, key="k")    # bridges both
+        h.advance_watermark(100.0)
+        assert h.values == [("k", 1.0, 15.0, 3)]
+
+    def test_two_distinct_sessions(self):
+        h = OperatorHarness(self.session_op())
+        h.send("x", timestamp=1.0, key="k")
+        h.send("x", timestamp=20.0, key="k")
+        h.advance_watermark(100.0)
+        assert [(v[1], v[3]) for v in h.values] == [(1.0, 1), (20.0, 1)]

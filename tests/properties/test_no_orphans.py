@@ -1,0 +1,110 @@
+"""Property-based tests of the Figure-4 / Section 5.3 recovery analysis.
+
+Random DAGs, random failure sets, random sharing depths — checking the
+always-no-orphans discipline:
+
+* with full sharing, no single-failure scenario ever orphans;
+* a connected chain of concurrent failures no longer than the DSD never
+  forces a global rollback (the `f` of Section 5.4);
+* classification is exactly the predicate of Equation 2/3.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsd import (
+    RecoveryCase,
+    classify_failed_task,
+    downstream_within,
+    holders_of,
+    longest_failed_chain,
+    requires_global_rollback,
+    transitive_downstream,
+)
+
+
+@st.composite
+def dags(draw, max_nodes=8):
+    """A random DAG over nodes n0..nk with edges only forward (i -> j, i<j)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    names = [f"n{i}" for i in range(n)]
+    adjacency = {name: [] for name in names}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                adjacency[names[i]].append(names[j])
+    return adjacency
+
+
+@st.composite
+def dag_with_failures(draw):
+    adjacency = draw(dags())
+    names = sorted(adjacency)
+    failed = draw(
+        st.sets(st.sampled_from(names), min_size=1, max_size=len(names))
+    )
+    dsd = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=6)))
+    return adjacency, failed, dsd
+
+
+@given(dag_with_failures())
+@settings(max_examples=300, deadline=None)
+def test_classification_matches_equation(case):
+    """ORPHANED  <=>  Log(e) ⊆ F  and  Depend(e) ⊄ F."""
+    adjacency, failed, dsd = case
+    for task in failed:
+        holders = holders_of(adjacency, task, dsd)
+        dependents = transitive_downstream(adjacency, task)
+        verdict = classify_failed_task(adjacency, failed, task, dsd)
+        if holders - failed:
+            assert verdict is RecoveryCase.WITH_DETERMINANTS
+        elif dependents <= failed:
+            assert verdict is RecoveryCase.FREE
+        else:
+            assert verdict is RecoveryCase.ORPHANED
+
+
+@given(dags(), st.integers(min_value=0, max_value=7))
+@settings(max_examples=200, deadline=None)
+def test_full_sharing_never_orphans_any_single_failure(adjacency, index):
+    names = sorted(adjacency)
+    task = names[index % len(names)]
+    assert (
+        classify_failed_task(adjacency, {task}, task, dsd=None)
+        is not RecoveryCase.ORPHANED
+    )
+
+
+@given(dag_with_failures())
+@settings(max_examples=300, deadline=None)
+def test_chains_within_dsd_never_roll_back_globally(case):
+    """Section 5.4: DSD = f tolerates any f consecutive concurrent failures."""
+    adjacency, failed, dsd = case
+    if dsd is None:
+        assert not requires_global_rollback(adjacency, failed, None)
+        return
+    if dsd >= 1 and longest_failed_chain(adjacency, failed) <= dsd:
+        assert not requires_global_rollback(adjacency, failed, dsd)
+
+
+@given(dag_with_failures())
+@settings(max_examples=200, deadline=None)
+def test_orphanhood_is_monotone_in_dsd(case):
+    """Sharing deeper can only help: if DSD=k has no orphans, neither does
+    DSD=k+1 (holders grow monotonically with depth)."""
+    adjacency, failed, dsd = case
+    if dsd is None or dsd >= 6:
+        return
+    if not requires_global_rollback(adjacency, failed, dsd):
+        assert not requires_global_rollback(adjacency, failed, dsd + 1)
+        assert not requires_global_rollback(adjacency, failed, None)
+
+
+@given(dags(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=200, deadline=None)
+def test_downstream_within_is_monotone_and_bounded(adjacency, hops):
+    for task in adjacency:
+        nearer = downstream_within(adjacency, task, hops)
+        farther = downstream_within(adjacency, task, hops + 1)
+        assert nearer <= farther
+        assert farther <= transitive_downstream(adjacency, task)

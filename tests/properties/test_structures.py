@@ -1,0 +1,174 @@
+"""Property-based tests on the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.causal_log import EpochLog
+from repro.core.determinants import TimestampDeterminant
+from repro.graph.elements import StreamRecord
+from repro.net.partitioner import HashPartitioner, RebalancePartitioner, stable_hash
+from repro.net.serialization import payload_size
+from repro.operators.window import EventTimeWindowOperator, CountAggregator
+from repro.sim import Environment, Store
+from repro.timing.watermarks import WatermarkTracker
+
+
+# -- causal log merge ---------------------------------------------------------
+
+
+@st.composite
+def delta_schedules(draw):
+    """A ground-truth log plus a sequence of (base, end) slices every one of
+    which starts at or before the receiver's current frontier (FIFO channels
+    guarantee this: you can re-receive, but never skip ahead)."""
+    n = draw(st.integers(min_value=1, max_value=30))
+    truth = [TimestampDeterminant(float(i)) for i in range(n)]
+    slices = []
+    frontier = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        base = draw(st.integers(min_value=0, max_value=frontier))
+        end = draw(st.integers(min_value=base, max_value=n))
+        slices.append((base, end))
+        frontier = max(frontier, end)
+    return truth, slices
+
+
+@given(delta_schedules())
+@settings(max_examples=200, deadline=None)
+def test_merge_slices_yield_exact_prefix(case):
+    truth, slices = case
+    log = EpochLog()
+    frontier = 0
+    for base, end in slices:
+        log.merge_slice(0, base, truth[base:end])
+        frontier = max(frontier, end)
+        # Invariant: the stored entries are exactly the longest prefix seen.
+        assert log.entries(0) == truth[:frontier]
+
+
+# -- partitioners -------------------------------------------------------------
+
+
+@given(st.one_of(st.integers(), st.text(), st.tuples(st.integers(), st.text())))
+@settings(max_examples=200, deadline=None)
+def test_stable_hash_is_deterministic_and_64bit(key):
+    assert stable_hash(key) == stable_hash(key)
+    assert 0 <= stable_hash(key) < 2**64
+
+
+@given(
+    st.lists(st.integers(), min_size=1, max_size=50),
+    st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=100, deadline=None)
+def test_hash_partitioner_in_range_and_stable(keys, channels):
+    part = HashPartitioner()
+    for key in keys:
+        record = StreamRecord(key, key=key)
+        first = part.select(record, channels)
+        assert first == part.select(record, channels)
+        assert all(0 <= c < channels for c in first)
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_rebalance_is_fair(channels, n_records):
+    part = RebalancePartitioner()
+    counts = [0] * channels
+    for i in range(n_records):
+        [target] = part.select(StreamRecord(i), channels)
+        counts[target] += 1
+    assert max(counts) - min(counts) <= 1
+
+
+# -- serialization ------------------------------------------------------------
+
+
+@given(
+    st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+                  st.text(max_size=40), st.binary(max_size=40)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=5),
+            st.dictionaries(st.text(max_size=8), children, max_size=5),
+        ),
+        max_leaves=20,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_payload_size_is_positive_and_deterministic(value):
+    size = payload_size(value)
+    assert size >= 1
+    assert payload_size(value) == size
+
+
+# -- watermark tracker ---------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4),
+                  st.floats(min_value=-1e6, max_value=1e6)),
+        max_size=60,
+    ),
+)
+@settings(max_examples=200, deadline=None)
+def test_watermark_never_regresses(channels, updates):
+    tracker = WatermarkTracker(channels)
+    last = tracker.current
+    for channel, ts in updates:
+        tracker.update(channel % channels, ts)
+        assert tracker.current >= last
+        last = tracker.current
+
+
+# -- windows ---------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e6),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=200, deadline=None)
+def test_sliding_window_assignment_covers_timestamp(ts, size_steps, slide_steps):
+    size = size_steps * 0.5
+    slide = min(slide_steps * 0.5, size)
+    op = EventTimeWindowOperator(size, CountAggregator(), slide=slide)
+    windows = op._assigned_windows(ts)
+    assert windows, "every timestamp belongs to at least one window"
+    for window in windows:
+        assert window.start <= ts < window.end
+        assert abs((window.end - window.start) - size) < 1e-9
+    # Expected multiplicity: ceil(size / slide) windows cover each instant.
+    expected = int(size / slide + 0.5)
+    assert abs(len(windows) - expected) <= 1
+
+
+# -- store FIFO -------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(), max_size=60), st.integers(min_value=1, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_store_preserves_fifo_under_bounded_capacity(items, capacity):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == items

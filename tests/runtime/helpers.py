@@ -1,0 +1,77 @@
+"""Shared builders for runtime/integration tests."""
+
+from typing import List, Optional
+
+from repro.config import CostModel, FaultToleranceMode, JobConfig
+from repro.external.http import ExternalService
+from repro.external.kafka import DurableLog
+from repro.graph.logical import JobGraphBuilder
+from repro.operators import (
+    KafkaSink,
+    KafkaSource,
+    KeyedCounterOperator,
+    MapOperator,
+)
+from repro.runtime.jobmanager import JobManager
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+
+
+def fast_cost(**overrides) -> CostModel:
+    """A cost model tuned for fast unit tests."""
+    defaults = dict(
+        record_cpu_cost=5e-6,
+        buffer_size_bytes=512,
+        flush_interval=5e-3,
+        heartbeat_interval=0.3,
+        heartbeat_timeout=0.5,
+        task_deploy_time=0.2,
+        task_cancel_time=0.05,
+        standby_activation_time=0.02,
+        connection_failure_detection=0.02,
+    )
+    defaults.update(overrides)
+    return CostModel(**defaults)
+
+
+def make_config(mode=FaultToleranceMode.CLONOS, **kwargs) -> JobConfig:
+    cost = kwargs.pop("cost", fast_cost())
+    config = JobConfig(mode=mode, cost=cost, checkpoint_interval=kwargs.pop("checkpoint_interval", 0.5), **kwargs)
+    return config
+
+
+def build_linear_job(
+    env: Environment,
+    config: JobConfig,
+    log: DurableLog,
+    n_records: int = 200,
+    rate: float = 2000.0,
+    parallelism: int = 1,
+    external: Optional[ExternalService] = None,
+    mid_operator_factory=None,
+):
+    """source -> map -> count(keyed) -> sink over a generated topic."""
+    log.create_generated_topic(
+        "in", parallelism, lambda p, off: (p, off), rate, total_per_partition=n_records
+    )
+    log.create_topic("out", parallelism)
+    builder = JobGraphBuilder("linear")
+    stream = builder.source(
+        "src",
+        lambda: KafkaSource(log, "in"),
+        parallelism=parallelism,
+    )
+    factory = mid_operator_factory or (lambda: MapOperator(lambda v: v))
+    mapped = stream.process("map", factory)
+    counted = mapped.key_by(lambda v: v[1] % 10).process(
+        "count", lambda: KeyedCounterOperator()
+    )
+    counted.sink("sink", lambda: KafkaSink(log, "out"))
+    graph = builder.build()
+    jm = JobManager(env, graph, config, external=external)
+    jm.deploy()
+    return jm
+
+
+def sink_values(log: DurableLog, topic: str = "out") -> List:
+    return [entry.value for entry in log.read_all(topic)]

@@ -1,0 +1,139 @@
+"""Unit tests for cluster, control queue, and standby components."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.core.standby import StandbyState
+from repro.errors import JobError
+from repro.runtime.cluster import Cluster
+from repro.runtime.rpc import ControlQueue
+from repro.sim.core import Environment
+from repro.state.snapshot import TaskSnapshot
+
+
+class TestCluster:
+    def test_allocate_spreads_load(self):
+        cluster = Cluster(num_nodes=3, slots_per_node=2)
+        nodes = [cluster.allocate(f"t{i}") for i in range(3)]
+        assert sorted(nodes) == [0, 1, 2]
+
+    def test_anti_affinity_avoids_named_nodes(self):
+        cluster = Cluster(num_nodes=3, slots_per_node=4)
+        primary = cluster.allocate("task")
+        standby = cluster.allocate("standby:task", avoid_nodes={primary})
+        assert standby != primary
+
+    def test_anti_affinity_falls_back_when_full(self):
+        cluster = Cluster(num_nodes=2, slots_per_node=1)
+        n0 = cluster.allocate("a")
+        n1 = cluster.allocate("b")
+        cluster.release("b")
+        # Only node n1 has space, even though we would like to avoid it.
+        got = cluster.allocate("c", avoid_nodes={n1})
+        assert got == n1
+
+    def test_out_of_slots_raises(self):
+        cluster = Cluster(num_nodes=1, slots_per_node=1)
+        cluster.allocate("a")
+        with pytest.raises(JobError):
+            cluster.allocate("b")
+
+    def test_release_and_occupants(self):
+        cluster = Cluster(num_nodes=1, slots_per_node=2)
+        node = cluster.allocate("a")
+        cluster.allocate("b")
+        assert cluster.occupants_of_node(node) == {"a", "b"}
+        cluster.release("a")
+        assert cluster.occupants_of_node(node) == {"b"}
+        assert cluster.node_of("a") is None
+
+
+class TestControlQueue:
+    def test_messages_arrive_after_rpc_latency(self):
+        env = Environment()
+        queue = ControlQueue(env, CostModel(rpc_latency=0.5), "t")
+        queue.send("ping", 123)
+        assert queue.poll() is None
+        env.run(until=0.6)
+        message = queue.poll()
+        assert message.kind == "ping" and message.payload == 123
+
+    def test_immediate_bypasses_latency(self):
+        env = Environment()
+        queue = ControlQueue(env, CostModel(), "t")
+        queue.send("now", immediate=True)
+        assert queue.poll().kind == "now"
+
+    def test_closed_queue_drops_messages(self):
+        env = Environment()
+        queue = ControlQueue(env, CostModel(rpc_latency=0.1), "t")
+        queue.send("lost")
+        queue.close()
+        env.run(until=1.0)
+        assert queue.poll() is None
+        queue.reopen()
+        queue.send("kept", immediate=True)
+        assert queue.poll().kind == "kept"
+
+    def test_signal_pulses_on_delivery(self):
+        env = Environment()
+        queue = ControlQueue(env, CostModel(rpc_latency=0.1), "t")
+        woken = []
+
+        def waiter():
+            yield queue.signal.wait()
+            woken.append(env.now)
+
+        env.process(waiter())
+        queue.send("x")
+        env.run()
+        assert len(woken) == 1
+
+
+class TestStandby:
+    def make_snapshot(self, cid=1, size=10000):
+        snap = TaskSnapshot("t", cid, {}, None, {"edges": []}, {}, None)
+        snap.size_bytes = size
+        return snap
+
+    def test_dispatch_transfers_after_network_time(self):
+        env = Environment()
+        cost = CostModel(network_bandwidth=1e6, network_latency=0.0)
+        standby = StandbyState(env, cost, "t", node_id=1)
+        env.process(standby.dispatch(self.make_snapshot(size=500000)))
+        env.run(until=0.25)
+        assert standby.snapshot is None  # 0.5s transfer still in flight
+        env.run(until=0.6)
+        assert standby.checkpoint_id == 1
+        assert standby.transfers_received == 1
+
+    def test_activation_waits_for_in_flight_transfer(self):
+        env = Environment()
+        cost = CostModel(network_bandwidth=1e6, network_latency=0.0)
+        standby = StandbyState(env, cost, "t", node_id=1)
+        env.process(standby.dispatch(self.make_snapshot(cid=2, size=500000)))
+        got = []
+
+        def activate():
+            snapshot = yield from standby.wait_ready()
+            got.append((env.now, snapshot.checkpoint_id))
+
+        env.run(until=0.1)
+        env.process(activate())
+        env.run()
+        when, cid = got[0]
+        assert cid == 2
+        assert when >= 0.5  # waited for the transfer (Section 6.4)
+
+    def test_wait_ready_immediate_when_idle(self):
+        env = Environment()
+        standby = StandbyState(env, CostModel(), "t", node_id=0)
+        got = []
+
+        def activate():
+            snapshot = yield from standby.wait_ready()
+            got.append(snapshot)
+
+        env.process(activate())
+        env.run()
+        assert got == [None]  # no snapshot dispatched yet

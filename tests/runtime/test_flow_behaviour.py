@@ -1,0 +1,152 @@
+"""End-to-end behavioural tests: backpressure, watermark flow, checkpoint
+lifecycle details."""
+
+import pytest
+
+from repro.config import FaultToleranceMode
+from repro.external.kafka import DurableLog
+from repro.graph.logical import JobGraphBuilder
+from repro.operators import (
+    CountAggregator,
+    EventTimeWindowOperator,
+    KafkaSink,
+    KafkaSource,
+    MapOperator,
+    ProcessOperator,
+)
+from repro.runtime.jobmanager import JobManager
+from repro.sim.core import Environment
+
+from tests.runtime.helpers import fast_cost, make_config, sink_values
+
+
+def test_backpressure_throttles_sources():
+    """A slow operator must slow the sources down (bounded pipeline), not
+    let queues grow without bound."""
+    env = Environment()
+    log = DurableLog()
+    log.create_generated_topic("in", 1, lambda p, off: off, 1e9, None)  # firehose
+    log.create_topic("out", 1)
+    config = make_config(
+        FaultToleranceMode.GLOBAL_ROLLBACK,
+        cost=fast_cost(record_cpu_cost=5e-6, buffer_size_bytes=512),
+        checkpoint_interval=10.0,
+    )
+
+    def slow(record, ctx):
+        ctx.collect(record.value)
+
+    builder = JobGraphBuilder("bp")
+    stream = builder.source("src", lambda: KafkaSource(log, "in"))
+    mid = stream.key_by(lambda v: 0).process("slow", lambda: ProcessOperator(slow))
+    mid.key_by(lambda v: 0).sink("sink", lambda: KafkaSink(log, "out"))
+    jm = JobManager(env, builder.build(), config)
+    jm.deploy()
+    # Make the middle operator artificially slow by inflating its cpu debt.
+    slow_task = jm.task_of("slow[0]")
+    original_charge = slow_task.charge
+    slow_task.charge = lambda s: original_charge(s * 50)
+    env.run(until=2.0)
+    src_offset = jm.task_of("src[0]").operator.offset
+    consumed = jm.task_of("slow[0]").records_processed
+    # The source read only what the pipeline could absorb: its lead over the
+    # slow stage is bounded by the pipeline's buffer capacity.
+    assert src_offset - consumed < 2000
+    assert src_offset < 100_000
+
+
+def test_watermarks_take_min_across_parallel_sources():
+    """A keyed window downstream of two sources fires only when BOTH
+    sources' watermarks passed the window end."""
+    env = Environment()
+    log = DurableLog()
+    # Partition 1 lags: its events arrive 10x slower.
+    log.create_generated_topic("in", 2, lambda p, off: (p, off), 1000.0, 2000)
+    slow_partition = log.partition("in", 1)
+    fast_rate = slow_partition.rate
+
+    class LaggyPartition(type(slow_partition)):
+        pass
+
+    slow_partition.rate = fast_rate / 4  # arrivals (and watermarks) lag
+    log.create_topic("out", 2)
+    config = make_config(FaultToleranceMode.CLONOS, checkpoint_interval=5.0)
+    builder = JobGraphBuilder("wm")
+    stream = builder.source("src", lambda: KafkaSource(log, "in"), parallelism=2)
+    counted = stream.key_by(lambda v: v[1] % 5).process(
+        "win",
+        lambda: EventTimeWindowOperator(
+            0.5, CountAggregator(), result_fn=lambda k, w, c: (w.start, k, c)
+        ),
+    )
+    counted.key_by(lambda v: v[1]).sink("sink", lambda: KafkaSink(log, "out"))
+    jm = JobManager(env, builder.build(), config)
+    jm.deploy()
+    env.run(until=1.5)
+    # Fast source is ~1.5s of event time in; slow source only ~0.37s. The
+    # combined watermark is held back by the slow source, so no window at or
+    # past its frontier may have fired yet.
+    fired_starts = [v[0] for v in sink_values(log)]
+    slow_frontier = 0.375
+    assert all(start < slow_frontier for start in fired_starts)
+    jm.run_until_done(limit=300)
+    assert len(sink_values(log)) > 0
+
+
+class TestCheckpointLifecycle:
+    def build(self, checkpoint_interval=0.3):
+        env = Environment()
+        log = DurableLog()
+        log.create_generated_topic("in", 1, lambda p, off: off, 1000.0, 4000)
+        log.create_topic("out", 1)
+        config = make_config(
+            FaultToleranceMode.CLONOS, checkpoint_interval=checkpoint_interval
+        )
+        builder = JobGraphBuilder("chk")
+        stream = builder.source("src", lambda: KafkaSource(log, "in"))
+        mid = stream.key_by(lambda v: v % 3).process(
+            "mid", lambda: MapOperator(lambda v: v)
+        )
+        mid.key_by(lambda v: 0).sink("sink", lambda: KafkaSink(log, "out"))
+        jm = JobManager(env, builder.build(), config)
+        jm.deploy()
+        return env, jm
+
+    def test_no_concurrent_checkpoints(self):
+        env, jm = self.build()
+        jm.run_until_done(limit=300)
+        times = [t for _cid, t in jm.checkpoints_completed]
+        assert times == sorted(times)
+        ids = [cid for cid, _t in jm.checkpoints_completed]
+        assert len(set(ids)) == len(ids)
+
+    def test_failure_aborts_pending_checkpoint(self):
+        env, jm = self.build(checkpoint_interval=0.5)
+        # Kill right when a checkpoint is likely in flight.
+        env.schedule_callback(0.501, lambda: jm.kill_task("mid[0]"))
+        jm.run_until_done(limit=300)
+        assert jm._aborted_checkpoints or jm.completed_checkpoint >= 1
+        # Whatever was aborted never shows up as completed.
+        completed = {cid for cid, _t in jm.checkpoints_completed}
+        assert not (completed & jm._aborted_checkpoints)
+
+    def test_old_snapshots_discarded(self):
+        env, jm = self.build()
+        jm.run_until_done(limit=300)
+        store = jm.snapshot_store
+        latest = jm.completed_checkpoint
+        assert latest >= 2
+        assert store.get("mid[0]", latest) is not None
+        for old in range(1, latest):
+            assert store.get("mid[0]", old) is None
+
+    def test_checkpoints_pause_during_recovery(self):
+        env, jm = self.build(checkpoint_interval=0.3)
+        env.schedule_callback(0.7, lambda: jm.kill_task("mid[0]"))
+        jm.run_until_done(limit=300)
+        detected = next(t for t, k, _ in jm.recovery_events if k == "detected")
+        recovered = next(t for t, k, _ in jm.recovery_events if k == "recovered")
+        triggered_during = [
+            t for cid, t in jm.checkpoints_completed if detected <= t <= recovered
+        ]
+        assert triggered_during == []

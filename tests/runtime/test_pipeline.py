@@ -1,0 +1,100 @@
+"""End-to-end pipeline tests without failures."""
+
+import pytest
+
+from repro.config import FaultToleranceMode
+from repro.external.kafka import DurableLog
+from repro.sim.core import Environment
+
+from tests.runtime.helpers import build_linear_job, make_config, sink_values
+
+
+@pytest.mark.parametrize(
+    "mode",
+    [
+        FaultToleranceMode.NONE,
+        FaultToleranceMode.GLOBAL_ROLLBACK,
+        FaultToleranceMode.CLONOS,
+        FaultToleranceMode.DIVERGENT,
+        FaultToleranceMode.SEEP,
+    ],
+)
+def test_linear_job_produces_all_outputs(mode):
+    env = Environment()
+    log = DurableLog()
+    jm = build_linear_job(env, make_config(mode), log, n_records=200)
+    jm.run_until_done(limit=60)
+    values = sink_values(log)
+    # Each input record produces one (key, count) output.
+    assert len(values) == 200
+    counts = [v for v in values if v[1] == 20]
+    assert len(counts) == 10  # 10 keys x final count 20
+
+
+def test_parallel_job_produces_all_outputs():
+    env = Environment()
+    log = DurableLog()
+    jm = build_linear_job(
+        env, make_config(FaultToleranceMode.CLONOS), log, n_records=150, parallelism=3
+    )
+    jm.run_until_done(limit=60)
+    assert len(sink_values(log)) == 450
+
+
+def test_checkpoints_complete_periodically():
+    env = Environment()
+    log = DurableLog()
+    config = make_config(FaultToleranceMode.CLONOS)
+    jm = build_linear_job(env, config, log, n_records=4000, rate=1000.0)
+    jm.run_until_done(limit=60)
+    assert len(jm.checkpoints_completed) >= 3
+    ids = [cid for cid, _t in jm.checkpoints_completed]
+    assert ids == sorted(ids)
+
+
+def test_checkpoint_truncates_inflight_and_causal_logs():
+    env = Environment()
+    log = DurableLog()
+    config = make_config(FaultToleranceMode.CLONOS)
+    jm = build_linear_job(env, config, log, n_records=4000, rate=1000.0)
+    jm.run_until_done(limit=60)
+    completed = jm.completed_checkpoint
+    assert completed >= 1
+    task = jm.task_of("map[0]")
+    for epoch_log in task.causal.bundle.logs.values():
+        for epoch in epoch_log.epochs():
+            assert epoch >= completed
+    assert all(e >= completed for e in task.inflight._entries)
+
+
+def test_same_seed_same_output_across_runs():
+    def run():
+        env = Environment()
+        log = DurableLog()
+        jm = build_linear_job(env, make_config(FaultToleranceMode.CLONOS), log, 120)
+        jm.run_until_done(limit=60)
+        return sink_values(log)
+
+    assert run() == run()
+
+
+def test_clonos_piggybacks_determinants():
+    env = Environment()
+    log = DurableLog()
+    jm = build_linear_job(env, make_config(FaultToleranceMode.CLONOS), log, 200)
+    jm.run_until_done(limit=60)
+    src_task = jm.task_of("src[0]")
+    assert src_task.causal.delta_bytes_sent > 0
+    # The downstream map task holds the source's determinant bundle.
+    map_task = jm.task_of("map[0]")
+    assert map_task.causal.stored_bundle_for("src[0]") is not None
+
+
+def test_flink_mode_has_no_clonos_machinery():
+    env = Environment()
+    log = DurableLog()
+    jm = build_linear_job(env, make_config(FaultToleranceMode.GLOBAL_ROLLBACK), log, 100)
+    jm.run_until_done(limit=60)
+    task = jm.task_of("map[0]")
+    assert task.causal is None
+    assert task.inflight is None

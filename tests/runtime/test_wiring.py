@@ -1,0 +1,117 @@
+"""Tests for physical-graph construction (deployment wiring)."""
+
+import pytest
+
+from repro.config import FaultToleranceMode
+from repro.external.kafka import DurableLog
+from repro.graph.logical import JobGraphBuilder
+from repro.operators import (
+    FullHistoryJoinOperator,
+    KafkaSink,
+    KafkaSource,
+    MapOperator,
+)
+from repro.runtime.jobmanager import JobManager
+from repro.sim.core import Environment
+
+from tests.runtime.helpers import make_config
+
+
+def deploy(parallelism=2, mode=FaultToleranceMode.CLONOS):
+    env = Environment()
+    log = DurableLog()
+    log.create_generated_topic("in", parallelism, lambda p, off: off, 1000.0, 10)
+    log.create_topic("out", parallelism)
+    builder = JobGraphBuilder("wiring")
+    left = builder.source("lsrc", lambda: KafkaSource(log, "in"),
+                          parallelism=parallelism)
+    mapped = left.process("map", lambda: MapOperator(lambda v: v))
+    keyed = mapped.key_by(lambda v: v)
+    right = keyed.process("agg", lambda: MapOperator(lambda v: v))
+    right.key_by(lambda v: v).sink("sink", lambda: KafkaSink(log, "out"))
+    jm = JobManager(env, builder.build(), make_config(mode))
+    jm.deploy()
+    return jm
+
+
+def test_forward_edges_are_pointwise():
+    jm = deploy(parallelism=3)
+    # lsrc -> map is a forward edge: exactly one output channel per subtask.
+    for i in range(3):
+        vertex = jm.vertices[f"lsrc[{i}]"]
+        (_edge, channels), = vertex.out_links
+        assert len(channels) == 1
+        assert channels[0][1] == f"map[{i}]"
+
+
+def test_hash_edges_are_full_mesh():
+    jm = deploy(parallelism=3)
+    for i in range(3):
+        vertex = jm.vertices[f"map[{i}]"]
+        (_edge, channels), = vertex.out_links
+        assert [down for (_f, down, _l) in channels] == [
+            "agg[0]", "agg[1]", "agg[2]"
+        ]
+
+
+def test_flat_channel_indices_are_consistent_both_sides():
+    jm = deploy(parallelism=2)
+    for vertex in jm.vertices.values():
+        for in_flat, _inp, up_name, link, up_flat in vertex.in_links:
+            upstream = jm.vertices[up_name]
+            found = [
+                (f, down, l)
+                for (_e, chans) in upstream.out_links
+                for (f, down, l) in chans
+                if l is link
+            ]
+            assert len(found) == 1
+            flat, down, _l = found[0]
+            assert flat == up_flat
+            assert down == vertex.name
+            # And the receiver's channel object is attached to this link.
+            assert link.receiver is vertex.task.gate.channels[in_flat]
+
+
+def test_input_infos_match_gate_channels():
+    jm = deploy(parallelism=2)
+    for vertex in jm.vertices.values():
+        task = vertex.task
+        assert len(task.input_infos) == len(task.gate.channels)
+        for info, channel in zip(task.input_infos, task.gate.channels):
+            assert info.flat_index == channel.index
+
+
+def test_two_input_operator_gets_both_edges():
+    env = Environment()
+    log = DurableLog()
+    log.create_generated_topic("a", 1, lambda p, off: off, 1000.0, 5)
+    log.create_generated_topic("b", 1, lambda p, off: off, 1000.0, 5)
+    log.create_topic("out", 1)
+    builder = JobGraphBuilder("join-wiring")
+    left = builder.source("la", lambda: KafkaSource(log, "a")).key_by(lambda v: v)
+    right = builder.source("rb", lambda: KafkaSource(log, "b")).key_by(lambda v: v)
+    joined = builder.connect(left, right, "join",
+                             lambda: FullHistoryJoinOperator(lambda l, r: (l, r)))
+    joined.sink("sink", lambda: KafkaSink(log, "out"))
+    jm = JobManager(env, builder.build(), make_config(FaultToleranceMode.CLONOS))
+    jm.deploy()
+    join_task = jm.task_of("join[0]")
+    assert [info.input_index for info in join_task.input_infos] == [0, 1]
+    assert {info.upstream_task for info in join_task.input_infos} == {"la[0]", "rb[0]"}
+
+
+def test_adjacency_reflects_physical_graph():
+    jm = deploy(parallelism=2)
+    assert set(jm.adjacency["map[0]"]) == {"agg[0]", "agg[1]"}
+    assert jm.adjacency["sink[0]"] == []
+
+
+def test_causal_managers_only_in_clonos_mode():
+    clonos = deploy(mode=FaultToleranceMode.CLONOS)
+    flink = deploy(mode=FaultToleranceMode.GLOBAL_ROLLBACK)
+    assert clonos.task_of("map[0]").causal is not None
+    assert flink.task_of("map[0]").causal is None
+    # Sinks have no outputs, hence no in-flight log, but still causal state.
+    assert clonos.task_of("sink[0]").inflight is None
+    assert clonos.task_of("sink[0]").causal is not None

@@ -1,0 +1,148 @@
+"""Edge cases for AnyOf/AllOf conditions and the Signal primitive."""
+
+import pytest
+
+from repro.sim import Environment, Signal
+
+
+def test_any_of_with_future_timeouts_waits():
+    """Regression: a *scheduled* Timeout is triggered-at-birth internally;
+    AnyOf must not treat it as already fired."""
+    env = Environment()
+    seen = []
+
+    def proc():
+        winner = yield env.any_of([env.timeout(5, "slow"), env.timeout(2, "fast")])
+        seen.append((env.now, winner.value))
+
+    env.process(proc())
+    env.run()
+    assert seen == [(2, "fast")]
+
+
+def test_any_of_with_already_processed_event_fires_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("done")
+    env.run()  # process the event so callbacks are consumed
+    seen = []
+
+    def proc():
+        winner = yield env.any_of([ev, env.timeout(100)])
+        seen.append((env.now, winner.value))
+
+    env.process(proc())
+    env.run(until=1)
+    assert seen == [(0, "done")]
+
+
+def test_all_of_with_mixed_processed_and_pending():
+    env = Environment()
+    first = env.event()
+    first.succeed("a")
+    env.run()
+    seen = []
+
+    def proc():
+        values = yield env.all_of([first, env.timeout(3, "b")])
+        seen.append((env.now, values))
+
+    env.process(proc())
+    env.run()
+    assert seen == [(3, ["a", "b"])]
+
+
+def test_all_of_fails_fast_on_child_failure():
+    env = Environment()
+    failing = env.event()
+    caught = []
+
+    def proc():
+        try:
+            yield env.all_of([failing, env.timeout(100)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(proc())
+    env.run(until=1)
+    failing.fail(RuntimeError("child died"))
+    env.run(until=2)
+    assert caught == ["child died"]
+
+
+def test_signal_wakes_all_waiters_once():
+    env = Environment()
+    signal = Signal(env)
+    woken = []
+
+    def waiter(tag):
+        yield signal.wait()
+        woken.append(tag)
+
+    env.process(waiter("a"))
+    env.process(waiter("b"))
+    env.run(until=1)
+    signal.pulse()
+    env.run(until=2)
+    assert sorted(woken) == ["a", "b"]
+    # A second pulse with no waiters is a no-op.
+    signal.pulse()
+    env.run(until=3)
+    assert sorted(woken) == ["a", "b"]
+
+
+def test_signal_check_then_wait_has_no_lost_wakeup():
+    env = Environment()
+    signal = Signal(env)
+    items = []
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            while not items:
+                yield signal.wait()
+            got.append(items.pop(0))
+
+    def producer():
+        for i in range(3):
+            yield env.timeout(1)
+            items.append(i)
+            signal.pulse()
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_nested_any_of_conditions():
+    env = Environment()
+    seen = []
+
+    def proc():
+        inner = env.any_of([env.timeout(4, "x"), env.timeout(6, "y")])
+        winner = yield env.any_of([inner, env.timeout(10, "z")])
+        seen.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert seen == [4]
+
+
+def test_environment_peek_and_empty_step():
+    env = Environment()
+    assert env.peek() == float("inf")
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_run_until_past_is_rejected():
+    env = Environment()
+    env.schedule_callback(5.0, lambda: None)
+    env.run(until=5.0)
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)

@@ -1,0 +1,220 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    seen = []
+
+    def proc():
+        yield env.timeout(1.5)
+        seen.append(env.now)
+        yield env.timeout(0.5)
+        seen.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert seen == [1.5, 2.0]
+
+
+def test_run_until_stops_clock_between_events():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10.0)
+
+    env.process(proc())
+    assert env.run(until=3.0) == 3.0
+    assert env.now == 3.0
+    env.run()
+    assert env.now == 10.0
+
+
+def test_zero_delay_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(0)
+        order.append(tag)
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.process(proc("c"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+    result = []
+
+    def child():
+        yield env.timeout(1)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        result.append(value)
+
+    env.process(parent())
+    env.run()
+    assert result == [42]
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+    caught = []
+
+    def child():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(parent())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unwaited_failed_event_raises():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("lost"))
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            causes.append((env.now, intr.cause))
+
+    def killer(proc):
+        yield env.timeout(5)
+        proc.interrupt("failure")
+
+    victim_proc = env.process(victim())
+    env.process(killer(victim_proc))
+    env.run()
+    assert causes == [(5, "failure")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_kill_silences_process_without_notifying_waiters():
+    env = Environment()
+    resumed = []
+
+    def victim():
+        yield env.timeout(100)
+        resumed.append("victim ran")
+
+    def waiter(proc):
+        yield proc
+        resumed.append("waiter ran")
+
+    victim_proc = env.process(victim())
+    env.process(waiter(victim_proc))
+    env.run(until=1)
+    victim_proc.kill()
+    env.run(until=200)
+    assert resumed == []
+
+
+def test_any_of_returns_first_event():
+    env = Environment()
+    winners = []
+
+    def proc():
+        fast = env.timeout(1, value="fast")
+        slow = env.timeout(5, value="slow")
+        winner = yield env.any_of([fast, slow])
+        winners.append(winner.value)
+
+    env.process(proc())
+    env.run()
+    assert winners == ["fast"]
+
+
+def test_all_of_collects_all_values():
+    env = Environment()
+    results = []
+
+    def proc():
+        values = yield env.all_of([env.timeout(1, "a"), env.timeout(2, "b")])
+        results.append(values)
+
+    env.process(proc())
+    env.run()
+    assert results == [["a", "b"]]
+    assert env.now == 2
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    def parent():
+        with pytest.raises(SimulationError):
+            yield env.process(bad())
+
+    env.process(parent())
+    env.run()
+
+
+def test_schedule_callback():
+    env = Environment()
+    fired = []
+    env.schedule_callback(3.0, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [3.0]
+
+
+def test_determinism_same_program_same_trace():
+    def build_trace():
+        env = Environment()
+        trace = []
+
+        def worker(tag, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+                trace.append((env.now, tag))
+
+        env.process(worker("x", 1.0))
+        env.process(worker("y", 1.5))
+        env.run()
+        return trace
+
+    assert build_trace() == build_trace()

@@ -1,0 +1,178 @@
+"""Unit tests for Store and Resource primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Store
+
+
+def test_store_fifo_order():
+    env = Environment()
+    got = []
+
+    def producer(store):
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer(store):
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    store = Store(env)
+    env.process(producer(store))
+    env.process(consumer(store))
+    env.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    got = []
+
+    def consumer(store):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(store):
+        yield env.timeout(7)
+        yield store.put("late")
+
+    store = Store(env)
+    env.process(consumer(store))
+    env.process(producer(store))
+    env.run()
+    assert got == [(7, "late")]
+
+
+def test_store_capacity_blocks_putter():
+    env = Environment()
+    put_times = []
+
+    def producer(store):
+        for i in range(3):
+            yield store.put(i)
+            put_times.append(env.now)
+
+    def consumer(store):
+        yield env.timeout(10)
+        yield store.get()
+
+    store = Store(env, capacity=2)
+    env.process(producer(store))
+    env.process(consumer(store))
+    env.run()
+    # First two puts are immediate; third waits for the get at t=10.
+    assert put_times == [0, 0, 10]
+
+
+def test_store_try_put_and_try_get():
+    env = Environment()
+    store = Store(env, capacity=1)
+    assert store.try_get() is None
+    assert store.try_put("a")
+    assert not store.try_put("b")
+    assert store.try_get() == "a"
+
+
+def test_store_clear_drops_items_and_admits_putters():
+    env = Environment()
+    store = Store(env, capacity=1)
+    assert store.try_put("a")
+    admitted = []
+
+    def producer():
+        yield store.put("b")
+        admitted.append(env.now)
+
+    env.process(producer())
+    env.run(until=1)
+    assert store.clear() == ["a"]
+    env.run(until=2)
+    assert admitted == [1]
+    assert list(store.items) == ["b"]
+
+
+def test_store_cancel_waiters():
+    env = Environment()
+    store = Store(env)
+    failed = []
+
+    def consumer():
+        try:
+            yield store.get()
+        except ConnectionError:
+            failed.append(True)
+
+    env.process(consumer())
+    env.run(until=1)
+    store.cancel_waiters(ConnectionError("torn down"))
+    env.run(until=2)
+    assert failed == [True]
+
+
+def test_store_zero_capacity_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_resource_acquire_release_cycle():
+    env = Environment()
+    pool = Resource(env, capacity=2)
+    times = []
+
+    def worker(tag):
+        yield pool.acquire()
+        times.append((env.now, tag, "acq"))
+        yield env.timeout(5)
+        pool.release()
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.process(worker("c"))
+    env.run()
+    acquire_times = [t for t, _tag, _ in times]
+    assert acquire_times == [0, 0, 5]
+
+
+def test_resource_try_acquire_respects_waiters():
+    env = Environment()
+    pool = Resource(env, capacity=1)
+    assert pool.try_acquire()
+
+    def waiter():
+        yield pool.acquire()
+
+    env.process(waiter())
+    env.run(until=1)
+    # A waiter is queued, so try_acquire must not jump the line even after
+    # release makes capacity available again.
+    pool.release()
+    env.run(until=2)
+    assert pool.available == 0
+    assert not pool.try_acquire()
+
+
+def test_resource_over_release_rejected():
+    env = Environment()
+    pool = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        pool.release()
+
+
+def test_resource_resize_grow_admits_waiters():
+    env = Environment()
+    pool = Resource(env, capacity=1)
+    assert pool.try_acquire()
+    acquired = []
+
+    def waiter():
+        yield pool.acquire()
+        acquired.append(env.now)
+
+    env.process(waiter())
+    env.run(until=1)
+    pool.resize(2)
+    env.run(until=2)
+    assert acquired == [1]

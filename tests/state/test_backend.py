@@ -1,0 +1,108 @@
+"""Tests for the keyed state backend."""
+
+import pytest
+
+from repro.errors import StateError
+from repro.state import (
+    HashMapStateBackend,
+    ListStateDescriptor,
+    MapStateDescriptor,
+    ReducingStateDescriptor,
+    ValueStateDescriptor,
+)
+
+
+@pytest.fixture
+def backend():
+    return HashMapStateBackend()
+
+
+def test_value_state_is_scoped_by_key(backend):
+    state = backend.get_state(ValueStateDescriptor("v", default=0))
+    backend.set_current_key("a")
+    state.update(1)
+    backend.set_current_key("b")
+    assert state.value() == 0
+    state.update(2)
+    backend.set_current_key("a")
+    assert state.value() == 1
+
+
+def test_value_state_default_is_copied(backend):
+    state = backend.get_state(ValueStateDescriptor("v", default=[]))
+    backend.set_current_key("a")
+    got = state.value()
+    got.append(1)
+    assert state.value() == []
+
+
+def test_access_without_key_raises(backend):
+    state = backend.get_state(ValueStateDescriptor("v"))
+    with pytest.raises(StateError):
+        state.value()
+
+
+def test_list_state_append_and_clear(backend):
+    state = backend.get_state(ListStateDescriptor("l"))
+    backend.set_current_key("k")
+    state.add(1)
+    state.add(2)
+    assert state.get() == [1, 2]
+    state.clear()
+    assert state.get() == []
+
+
+def test_map_state_operations(backend):
+    state = backend.get_state(MapStateDescriptor("m"))
+    backend.set_current_key("k")
+    state.put("x", 1)
+    state.put("y", 2)
+    assert state.get("x") == 1
+    assert state.contains("y")
+    state.remove("x")
+    assert not state.contains("x")
+    assert dict(state.items()) == {"y": 2}
+
+
+def test_reducing_state(backend):
+    state = backend.get_state(ReducingStateDescriptor("r", lambda a, b: a + b))
+    backend.set_current_key("k")
+    state.add(3)
+    state.add(4)
+    assert state.get() == 7
+
+
+def test_conflicting_descriptor_kinds_rejected(backend):
+    backend.get_state(ValueStateDescriptor("s"))
+    with pytest.raises(StateError):
+        backend.get_state(ListStateDescriptor("s"))
+
+
+def test_snapshot_restore_roundtrip_is_isolated(backend):
+    state = backend.get_state(ValueStateDescriptor("v", 0))
+    backend.set_current_key("a")
+    state.update(10)
+    snap = backend.snapshot()
+    state.update(20)
+    backend.restore(snap)
+    assert state.value() == 10
+    # Restored tables are deep copies: mutating the snapshot has no effect.
+    snap["v"]["a"] = 999
+    assert state.value() == 10
+
+
+def test_size_bytes_grows_with_state(backend):
+    state = backend.get_state(ListStateDescriptor("l"))
+    backend.set_current_key("k")
+    empty = backend.size_bytes()
+    for i in range(100):
+        state.add(i)
+    assert backend.size_bytes() > empty + 500
+
+
+def test_keys_enumeration(backend):
+    state = backend.get_state(ValueStateDescriptor("v"))
+    for key in ("a", "b", "c"):
+        backend.set_current_key(key)
+        state.update(1)
+    assert sorted(backend.keys("v")) == ["a", "b", "c"]

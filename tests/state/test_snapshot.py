@@ -1,0 +1,79 @@
+"""Tests for task snapshots and the checkpoint store."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.errors import CheckpointError
+from repro.external.dfs import DistributedFileSystem
+from repro.sim.core import Environment
+from repro.state.snapshot import SnapshotStore, TaskSnapshot
+
+
+def snapshot_of(name="t", cid=1, keys=100):
+    keyed = {"state": {i: "x" * 50 for i in range(keys)}}
+    return TaskSnapshot(name, cid, keyed, None, {"edges": []}, {}, None)
+
+
+def drive(env, gen):
+    out = {}
+
+    def proc():
+        out["value"] = yield from gen
+
+    env.process(proc())
+    env.run()
+    return out.get("value")
+
+
+def test_snapshot_size_scales_with_state():
+    small = snapshot_of(keys=10)
+    large = snapshot_of(keys=1000)
+    assert large.size_bytes > small.size_bytes * 10
+
+
+def test_save_load_roundtrip():
+    env = Environment()
+    store = SnapshotStore(DistributedFileSystem(env, CostModel()))
+    snapshot = snapshot_of(cid=3)
+    drive(env, store.save(snapshot))
+    loaded = drive(env, store.load("t", 3))
+    assert loaded is snapshot
+    assert store.latest_id("t") == 3
+
+
+def test_load_missing_raises():
+    env = Environment()
+    store = SnapshotStore(DistributedFileSystem(env, CostModel()))
+    with pytest.raises(CheckpointError):
+        list(store.load("t", 9))
+
+
+def test_discard_older_than():
+    env = Environment()
+    store = SnapshotStore(DistributedFileSystem(env, CostModel()))
+    for cid in (1, 2, 3):
+        drive(env, store.save(snapshot_of(cid=cid)))
+    assert store.discard_older_than(3) == 2
+    assert store.get("t", 1) is None
+    assert store.get("t", 3) is not None
+
+
+def test_incremental_mode_charges_delta_only():
+    env = Environment()
+    cost = CostModel(dfs_write_bandwidth=1e6, dfs_latency=0.0)
+    dfs = DistributedFileSystem(env, cost)
+    store = SnapshotStore(dfs, incremental=True)
+    snapshot = snapshot_of(keys=1000)
+    drive(env, store.save(snapshot, delta_bytes=1000))
+    assert dfs.bytes_written == 1000  # not snapshot.size_bytes
+
+    full_store = SnapshotStore(dfs, incremental=False)
+    before = dfs.bytes_written
+    drive(env, full_store.save(snapshot_of(name="u", keys=1000), delta_bytes=1000))
+    assert dfs.bytes_written - before > 10000
+
+
+def test_latest_id_none_for_unknown_task():
+    env = Environment()
+    store = SnapshotStore(DistributedFileSystem(env, CostModel()))
+    assert store.latest_id("ghost") is None

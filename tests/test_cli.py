@@ -1,0 +1,37 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_subcommands():
+    parser = build_parser()
+    for command in ("fig5", "fig6-single", "fig6-multi", "memory", "table1"):
+        args = parser.parse_args([command] if command != "fig6-single" else [command])
+        assert callable(args.fn)
+
+
+def test_fig5_runs_one_query(capsys):
+    assert main(["fig5", "--queries", "Q1", "--events", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "Q1" in out
+    assert "clonos DSD=1" in out
+
+
+def test_fig5_rejects_unknown_query(capsys):
+    assert main(["fig5", "--queries", "Q99"]) == 2
+    assert "unknown queries" in capsys.readouterr().err
+
+
+def test_table1_prints_matrix(capsys):
+    assert main(["table1", "--events", "1200"]) == 0
+    out = capsys.readouterr().out
+    assert "clonos" in out and "gap_recovery" in out
+    assert "exactly-once" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,88 @@
+"""Unit tests for configuration and the guarantee mapping."""
+
+import pytest
+
+from repro.config import (
+    CostModel,
+    FaultToleranceMode,
+    Guarantee,
+    JobConfig,
+    SpillPolicy,
+)
+from repro.errors import JobError
+
+
+def test_defaults_validate():
+    JobConfig().validate()
+
+
+def test_invalid_checkpoint_interval():
+    with pytest.raises(JobError):
+        JobConfig(checkpoint_interval=0).validate()
+
+
+def test_invalid_dsd():
+    config = JobConfig()
+    config.clonos.determinant_sharing_depth = -1
+    with pytest.raises(JobError):
+        config.validate()
+
+
+def test_heartbeat_sanity():
+    config = JobConfig(cost=CostModel(heartbeat_interval=10, heartbeat_timeout=5))
+    with pytest.raises(JobError):
+        config.validate()
+
+
+def test_guarantee_mapping():
+    assert JobConfig(mode=FaultToleranceMode.CLONOS).guarantee is Guarantee.EXACTLY_ONCE
+    assert (
+        JobConfig(mode=FaultToleranceMode.GLOBAL_ROLLBACK).guarantee
+        is Guarantee.EXACTLY_ONCE
+    )
+    assert (
+        JobConfig(mode=FaultToleranceMode.DIVERGENT).guarantee
+        is Guarantee.AT_LEAST_ONCE
+    )
+    assert (
+        JobConfig(mode=FaultToleranceMode.GAP_RECOVERY).guarantee
+        is Guarantee.AT_MOST_ONCE
+    )
+
+
+def test_clonos_dsd0_degrades_to_at_least_once():
+    config = JobConfig(mode=FaultToleranceMode.CLONOS)
+    config.clonos.determinant_sharing_depth = 0
+    assert config.guarantee is Guarantee.AT_LEAST_ONCE
+
+
+def test_seep_guarantee_depends_on_determinism():
+    assert Guarantee.of(FaultToleranceMode.SEEP, deterministic_job=True) \
+        is Guarantee.EXACTLY_ONCE
+    assert Guarantee.of(FaultToleranceMode.SEEP, deterministic_job=False) \
+        is Guarantee.AT_LEAST_ONCE
+
+
+def test_with_mode_copies_and_overrides():
+    base = JobConfig(mode=FaultToleranceMode.CLONOS)
+    derived = base.with_mode(
+        FaultToleranceMode.CLONOS, determinant_sharing_depth=2, standby_tasks=False
+    )
+    assert derived.clonos.determinant_sharing_depth == 2
+    assert not derived.clonos.standby_tasks
+    # The original is untouched.
+    assert base.clonos.determinant_sharing_depth is None
+    assert base.clonos.standby_tasks
+
+
+def test_cost_model_helpers():
+    cost = CostModel(network_latency=0.001, network_bandwidth=1e6)
+    assert cost.transmission_time(1000) == pytest.approx(0.002)
+    assert cost.serialize_time(1000) == pytest.approx(1000 * cost.serialize_cost_per_byte)
+    assert cost.dfs_write_time(0) == pytest.approx(cost.dfs_latency)
+
+
+def test_spill_policy_values():
+    assert {p.value for p in SpillPolicy} == {
+        "in-memory", "spill-epoch", "spill-buffer", "spill-threshold"
+    }

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs end-to-end (their internal
+assertions are the real checks)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart(capsys):
+    load_example("quickstart").main()
+    assert "exactly-once holds" in capsys.readouterr().out
+
+
+def test_fraud_detection(capsys):
+    load_example("fraud_detection").main()
+    out = capsys.readouterr().out
+    assert "every transaction has exactly one consistent verdict" in out
+
+
+def test_exactly_once_output(capsys):
+    load_example("exactly_once_output").main()
+    out = capsys.readouterr().out
+    assert "ExactlyOnceKafkaSink" in out
+
+
+def test_nexmark_hot_items(capsys, monkeypatch):
+    module = load_example("nexmark_hot_items")
+    monkeypatch.setattr(module, "EVENTS_PER_PARTITION", 8000)
+    monkeypatch.setattr(module, "KILL_AT", 1.0)
+    module.main()
+    out = capsys.readouterr().out
+    assert "Clonos" in out and "vanilla Flink" in out

@@ -1,0 +1,107 @@
+"""Tests for the timer service."""
+
+from repro.sim import Environment
+from repro.timing import TimerService
+
+
+def test_processing_timer_becomes_due_at_fire_time():
+    env = Environment()
+    svc = TimerService(env)
+    svc.register_processing_timer(5.0, key="k", namespace="n")
+    env.run(until=4.9)
+    assert not svc.has_due()
+    env.run(until=5.1)
+    assert svc.has_due()
+    timer = svc.pop_due()
+    assert timer.key == "k"
+    assert timer.fire_time == 5.0
+
+
+def test_cancelled_processing_timer_never_fires():
+    env = Environment()
+    svc = TimerService(env)
+    timer = svc.register_processing_timer(5.0, key="k", namespace="n")
+    svc.cancel(timer.timer_id)
+    env.run(until=10)
+    assert not svc.has_due()
+
+
+def test_idempotent_reregistration_with_same_id():
+    env = Environment()
+    svc = TimerService(env)
+    first = svc.register_processing_timer(5.0, "k", "n", timer_id="t1")
+    second = svc.register_processing_timer(7.0, "k", "n", timer_id="t1")
+    assert first is second
+    env.run(until=10)
+    assert svc.has_due()
+    svc.pop_due()
+    assert not svc.has_due()
+
+
+def test_event_timers_fire_on_watermark_in_time_order():
+    env = Environment()
+    svc = TimerService(env)
+    svc.register_event_timer(10.0, "k", "w")
+    svc.register_event_timer(5.0, "k", "w")
+    svc.register_event_timer(20.0, "k", "w")
+    fired = svc.advance_watermark(12.0)
+    assert [t.fire_time for t in fired] == [5.0, 10.0]
+    assert svc.advance_watermark(12.0) == []
+    assert [t.fire_time for t in svc.advance_watermark(25.0)] == [20.0]
+
+
+def test_suspended_timers_are_parked_then_armed():
+    env = Environment()
+    svc = TimerService(env)
+    svc.suspend()
+    svc.register_processing_timer(1.0, "k", "n")
+    env.run(until=2.0)
+    assert not svc.has_due()  # parked, not armed
+    svc.arm_parked()
+    env.run(until=2.1)
+    assert svc.has_due()  # overdue timer fired immediately on arming
+
+
+def test_force_fire_removes_timer_from_future_arming():
+    env = Environment()
+    svc = TimerService(env)
+    svc.suspend()
+    timer = svc.register_processing_timer(1.0, "k", "n")
+    fired = svc.force_fire(timer.timer_id)
+    assert fired is timer
+    svc.arm_parked()
+    env.run(until=5)
+    assert not svc.has_due()
+
+
+def test_snapshot_restore_preserves_timers():
+    env = Environment()
+    svc = TimerService(env)
+    svc.register_processing_timer(5.0, "k", "n", timer_id="p1")
+    svc.register_event_timer(9.0, "k", "w", timer_id="e1")
+    snap = svc.snapshot()
+
+    restored = TimerService(env)
+    restored.restore(snap)
+    assert restored.suspended
+    fired_event = restored.advance_watermark(10.0)
+    assert [t.timer_id for t in fired_event] == ["e1"]
+    restored.arm_parked()
+    env.run(until=6)
+    assert restored.has_due()
+    assert restored.pop_due().timer_id == "p1"
+
+
+def test_due_signal_pulses_waiters():
+    env = Environment()
+    svc = TimerService(env)
+    woken = []
+
+    def waiter():
+        yield svc.due_signal.wait()
+        woken.append(env.now)
+
+    env.process(waiter())
+    svc.register_processing_timer(3.0, "k", "n")
+    env.run()
+    assert woken == [3.0]

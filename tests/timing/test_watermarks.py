@@ -1,0 +1,56 @@
+"""Tests for watermark tracking and generation."""
+
+import pytest
+
+from repro.timing import SourceWatermarkGenerator, WatermarkTracker
+
+
+def test_tracker_takes_min_across_channels():
+    tracker = WatermarkTracker(2)
+    assert tracker.update(0, 10.0) is None  # channel 1 still at -inf
+    assert tracker.update(1, 5.0) == 5.0
+    assert tracker.current == 5.0
+    assert tracker.update(0, 12.0) is None  # min still 5
+    assert tracker.update(1, 8.0) == 8.0
+
+
+def test_tracker_ignores_regressing_watermark():
+    tracker = WatermarkTracker(1)
+    assert tracker.update(0, 10.0) == 10.0
+    assert tracker.update(0, 4.0) is None
+    assert tracker.current == 10.0
+
+
+def test_tracker_snapshot_restore():
+    tracker = WatermarkTracker(2)
+    tracker.update(0, 10.0)
+    tracker.update(1, 7.0)
+    snap = tracker.snapshot()
+    fresh = WatermarkTracker(2)
+    fresh.restore(snap)
+    assert fresh.current == 7.0
+    with pytest.raises(ValueError):
+        WatermarkTracker(3).restore(snap)
+
+
+def test_generator_applies_lateness_bound():
+    gen = SourceWatermarkGenerator(lateness=2.0, interval=0.1)
+    gen.observe(10.0)
+    assert gen.next_watermark() == 8.0
+    assert gen.next_watermark() is None  # no progress, no emission
+    gen.observe(9.0)  # out-of-order: max unchanged
+    assert gen.next_watermark() is None
+    gen.observe(13.0)
+    assert gen.next_watermark() == 11.0
+
+
+def test_generator_snapshot_restore():
+    gen = SourceWatermarkGenerator(2.0, 0.1)
+    gen.observe(10.0)
+    gen.next_watermark()
+    snap = gen.snapshot()
+    fresh = SourceWatermarkGenerator(2.0, 0.1)
+    fresh.restore(snap)
+    assert fresh.next_watermark() is None
+    fresh.observe(20.0)
+    assert fresh.next_watermark() == 18.0
