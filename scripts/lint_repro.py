@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""CI gate: NDLint every shipped example and Nexmark query.
+
+Equivalent to ``python -m repro lint all``; exits non-zero when any target
+carries an un-intercepted source of nondeterminism (README, "Verifying your
+pipeline is causally loggable").
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["lint", "all"]))

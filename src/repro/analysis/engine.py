@@ -1,0 +1,244 @@
+"""NDLint engine: prove a :class:`~repro.graph.logical.JobGraph` causally loggable.
+
+The engine resolves every user callable attached to a graph — node operator
+factories, the functions/lambdas they close over, user-defined operator
+classes, edge key selectors — reads their source with :mod:`inspect`, locates
+the exact ``def``/``lambda`` node in the module AST, and runs the rule
+catalogue of :mod:`repro.analysis.rules` over it.  Library built-ins
+(``repro.operators`` etc.) are trusted: their nondeterminism is already routed
+through the causal services, so analysing them would only add noise.
+
+Three entry points::
+
+    lint_graph(graph)        # the submission-path check
+    lint_callable(fn)        # one UDF
+    lint_file(path)          # whole-module sweep (scripts/lint_repro.py)
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.analysis.report import Finding, LintReport, suppresses
+from repro.analysis.rules import RawFinding, scan
+
+#: repro-internal modules whose callables are deterministic by construction
+#: (all their nondeterminism already flows through Services); skipping them
+#: keeps graph lints focused on *user* logic.  ``repro.nexmark`` is
+#: deliberately absent: its query UDFs are user code and must stay lint-clean.
+TRUSTED_PREFIXES = (
+    "repro.operators",
+    "repro.core",
+    "repro.net",
+    "repro.state",
+    "repro.timing",
+    "repro.sim",
+    "repro.graph",
+    "repro.runtime",
+    "repro.external",
+    "repro.harness",
+    "repro.metrics",
+    "repro.workloads",
+    "repro.ft",
+    "repro.config",
+    "repro.errors",
+    "repro.analysis",
+)
+
+#: How many hops of closures/globals to chase from a factory.
+_MAX_DEPTH = 4
+_MAX_CALLABLES = 64
+
+
+def _is_trusted_module(module: Optional[str]) -> bool:
+    if not module:
+        return True  # builtins / C extensions: no source to lint anyway
+    if any(module == p or module.startswith(p + ".") for p in TRUSTED_PREFIXES):
+        return True
+    top = module.split(".", 1)[0]
+    return top in sys.stdlib_module_names and top != "__main__"
+
+
+@lru_cache(maxsize=64)
+def _module_source(filename: str) -> Optional[Tuple[ast.Module, Tuple[str, ...]]]:
+    try:
+        text = Path(filename).read_text()
+        return ast.parse(text, filename=filename), tuple(text.splitlines())
+    except (OSError, SyntaxError, ValueError):
+        return None
+
+
+def _locate_def(tree: ast.Module, lineno: int, fn: Callable) -> Optional[ast.AST]:
+    """The ``def``/``lambda`` node starting at ``lineno`` in ``tree``.
+
+    ``inspect.getsource`` on a lambda returns the surrounding statement, which
+    often does not parse standalone; locating the node inside the module AST
+    sidesteps that entirely and keeps line numbers absolute.
+    """
+    candidates = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        and node.lineno == lineno
+    ]
+    if len(candidates) > 1:
+        # Several defs on one line (nested lambdas): prefer a matching arity.
+        nargs = fn.__code__.co_argcount
+        exact = [c for c in candidates if len(c.args.args) == nargs]
+        if exact:
+            candidates = exact
+    return candidates[0] if candidates else None
+
+
+def _findings_for(
+    raw: Iterable[RawFinding],
+    filename: str,
+    lines: Tuple[str, ...],
+    def_line: int,
+    target: str,
+) -> List[Finding]:
+    findings = []
+    for hit in raw:
+        line_text = lines[hit.lineno - 1] if 0 < hit.lineno <= len(lines) else ""
+        def_text = lines[def_line - 1] if 0 < def_line <= len(lines) else ""
+        suppressed = suppresses(line_text, hit.rule) or (
+            hit.lineno != def_line and suppresses(def_text, hit.rule)
+        )
+        findings.append(
+            Finding(
+                rule=hit.rule,
+                message=hit.message,
+                file=filename,
+                line=hit.lineno,
+                source_line=line_text,
+                target=target,
+                suppressed=suppressed,
+            )
+        )
+    return findings
+
+
+def lint_callable(fn: Callable, target: str = "") -> LintReport:
+    """Lint one Python callable (function, lambda, or bound method)."""
+    report = LintReport(subject=target or getattr(fn, "__qualname__", repr(fn)))
+    fn = inspect.unwrap(fn)
+    if inspect.ismethod(fn):
+        fn = fn.__func__
+    code = getattr(fn, "__code__", None)
+    if code is None or _is_trusted_module(getattr(fn, "__module__", None)):
+        return report
+    try:
+        filename = inspect.getsourcefile(fn)
+    except TypeError:
+        filename = None
+    if filename is None:
+        report.unresolved.append(report.subject)
+        return report
+    parsed = _module_source(filename)
+    if parsed is None:
+        report.unresolved.append(report.subject)
+        return report
+    tree, lines = parsed
+    node = _locate_def(tree, code.co_firstlineno, fn)
+    if node is None:
+        report.unresolved.append(report.subject)
+        return report
+    raw = scan(node, freevars=code.co_freevars)
+    report.extend(
+        _findings_for(raw, filename, lines, code.co_firstlineno, target)
+    )
+    return report
+
+
+# -- callable resolution -----------------------------------------------------------
+
+
+def _expand(obj: Any) -> List[Any]:
+    """Callables reachable one hop from ``obj``: closure cells, referenced
+    globals, and (for user operator classes/instances) their methods."""
+    reached: List[Any] = []
+    fn = inspect.unwrap(obj) if callable(obj) else obj
+    if inspect.ismethod(fn):
+        fn = fn.__func__
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        closure = getattr(fn, "__closure__", None) or ()
+        for cell in closure:
+            try:
+                reached.append(cell.cell_contents)
+            except ValueError:  # empty cell
+                pass
+        fn_globals = getattr(fn, "__globals__", {})
+        for name in code.co_names:
+            if name in fn_globals:
+                reached.append(fn_globals[name])
+    elif inspect.isclass(fn) and not _is_trusted_module(fn.__module__):
+        for attr in ("process", "poll", "on_timer", "on_watermark", "open",
+                     "close", "on_barrier", "snapshot", "restore"):
+            method = fn.__dict__.get(attr)
+            if method is not None:
+                reached.append(method)
+    elif not inspect.isclass(fn) and hasattr(fn, "__class__"):
+        cls = type(fn)
+        if not _is_trusted_module(getattr(cls, "__module__", None)):
+            reached.append(cls)
+    return reached
+
+
+def resolve_callables(root: Callable, label: str) -> List[Tuple[str, Callable]]:
+    """Every lintable callable reachable from ``root`` (bounded BFS)."""
+    seen = {id(root)}
+    frontier: List[Tuple[Any, int]] = [(root, 0)]
+    resolved: List[Tuple[str, Callable]] = []
+    while frontier and len(resolved) < _MAX_CALLABLES:
+        obj, depth = frontier.pop(0)
+        fn = obj.__func__ if inspect.ismethod(obj) else obj
+        if getattr(fn, "__code__", None) is not None and not _is_trusted_module(
+            getattr(fn, "__module__", None)
+        ):
+            name = getattr(fn, "__qualname__", getattr(fn, "__name__", "<callable>"))
+            resolved.append((f"{label} -> {name}" if depth else label, fn))
+        if depth >= _MAX_DEPTH:
+            continue
+        for child in _expand(obj):
+            if not (callable(child) or inspect.isclass(child)):
+                continue
+            if id(child) in seen:
+                continue
+            seen.add(id(child))
+            frontier.append((child, depth + 1))
+    return resolved
+
+
+def lint_graph(graph) -> LintReport:
+    """Lint every UDF/operator callable attached to a job graph."""
+    report = LintReport(subject=getattr(graph, "name", "graph"))
+    linted = set()
+    for label, root in graph.udf_callables():
+        for target, fn in resolve_callables(root, label):
+            key = (id(fn.__code__), target.split(" -> ")[-1])
+            if key in linted:
+                continue
+            linted.add(key)
+            report.merge(lint_callable(fn, target=target))
+    report.subject = getattr(graph, "name", "graph")
+    return report
+
+
+def lint_file(path) -> LintReport:
+    """Whole-module sweep: every statement in ``path`` (UDFs and drivers)."""
+    path = str(path)
+    report = LintReport(subject=path)
+    parsed = _module_source(path)
+    if parsed is None:
+        report.unresolved.append(path)
+        return report
+    tree, lines = parsed
+    raw = scan(tree, freevars=())
+    report.extend(_findings_for(raw, path, lines, 0, target=""))
+    return report

@@ -1,0 +1,166 @@
+"""Online protocol-invariant checks (the second half of the sanitizer).
+
+A process-wide :data:`SANITIZER` that, when enabled, receives cheap callbacks
+from the hot paths of :mod:`repro.runtime.task`,
+:mod:`repro.core.recovery`, and :class:`repro.runtime.jobmanager.JobManager`
+and verifies the invariants the Clonos protocol relies on:
+
+* **FIFO sequences** — under exactly-once modes, the buffers a task consumes
+  from one channel carry strictly increasing sequence numbers within a task
+  incarnation (§2.3's FIFO-channel assumption plus §5.2's sender-side dedup).
+* **Epoch monotonicity** — checkpoint barriers observed on a channel never
+  regress (§3.2 alignment).
+* **Replay accounting** — every determinant consumed during replay was
+  produced by the original run: consumption never exceeds what the retrieved
+  bundle loaded (§5.2).
+* **Buffer-pool leaks** — when a job finishes, every task's output pool has
+  been fully returned (buffers are either recycled by consumers or owned by
+  the in-flight log's own pool, §6.1's buffer exchange).
+
+Disabled (the default) these hooks are a single attribute check; the
+simulation's behaviour is untouched either way — violations are *recorded*,
+never raised mid-run, and surfaced by ``python -m repro sanitize``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken protocol invariant."""
+
+    check: str
+    task: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.task}: {self.message}"
+
+
+class RuntimeSanitizer:
+    """Process-wide invariant checker; a no-op unless :attr:`enabled`."""
+
+    def __init__(self):
+        self.enabled = False
+        self.reset()
+
+    def reset(self) -> None:
+        self.violations: List[Violation] = []
+        self._buffer_seq: Dict[Tuple[str, int], int] = {}
+        self._barrier_epoch: Dict[Tuple[str, int], int] = {}
+        self._replay_loaded: Dict[str, int] = {}
+        self._replay_consumed: Dict[str, int] = {}
+
+    @contextmanager
+    def armed(self, enabled: bool = True):
+        """Enable (and reset) the sanitizer for the duration of a block."""
+        previous = self.enabled
+        self.enabled = enabled
+        self.reset()
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+            if not previous:
+                # Leave violations readable; drop the per-run trackers.
+                self._buffer_seq.clear()
+                self._barrier_epoch.clear()
+
+    def _violate(self, check: str, task: str, message: str) -> None:
+        self.violations.append(Violation(check, task, message))
+
+    # -- per-task lifecycle --------------------------------------------------------
+
+    def on_task_start(self, task: str) -> None:
+        """A (re)starting task begins a fresh incarnation: sequence and epoch
+        tracking restart (replayed buffers legitimately reuse old numbers)."""
+        if not self.enabled:
+            return
+        for store in (self._buffer_seq, self._barrier_epoch):
+            for key in [k for k in store if k[0] == task]:
+                del store[key]
+        self._replay_loaded.pop(task, None)
+        self._replay_consumed.pop(task, None)
+
+    # -- network invariants -----------------------------------------------------------
+
+    def on_buffer(self, task: str, channel: int, seq: int, strict: bool) -> None:
+        """A task consumed buffer ``seq`` from ``channel``.  ``strict`` is
+        False under at-least-once modes (SEEP/divergent replay re-delivers)."""
+        if not self.enabled:
+            return
+        key = (task, channel)
+        last = self._buffer_seq.get(key)
+        if strict and last is not None and seq <= last:
+            self._violate(
+                "fifo-seq",
+                task,
+                f"channel {channel} delivered seq {seq} after {last} "
+                "(duplicate or reordered buffer under an exactly-once mode)",
+            )
+        self._buffer_seq[key] = seq if last is None else max(last, seq)
+
+    def on_barrier(self, task: str, channel: int, checkpoint_id: int) -> None:
+        if not self.enabled:
+            return
+        key = (task, channel)
+        last = self._barrier_epoch.get(key)
+        if last is not None and checkpoint_id < last:
+            self._violate(
+                "epoch-monotonic",
+                task,
+                f"channel {channel} delivered barrier for epoch {checkpoint_id} "
+                f"after epoch {last}",
+            )
+        self._barrier_epoch[key] = max(last or 0, checkpoint_id)
+
+    # -- replay accounting ---------------------------------------------------------------
+
+    def on_replay_loaded(self, task: str, count: int) -> None:
+        if not self.enabled:
+            return
+        self._replay_loaded[task] = self._replay_loaded.get(task, 0) + count
+
+    def on_replay_consumed(self, task: str) -> None:
+        if not self.enabled:
+            return
+        consumed = self._replay_consumed.get(task, 0) + 1
+        self._replay_consumed[task] = consumed
+        if consumed > self._replay_loaded.get(task, 0):
+            self._violate(
+                "replay-provenance",
+                task,
+                f"replay consumed determinant #{consumed} but the retrieved "
+                f"bundle only produced {self._replay_loaded.get(task, 0)}",
+            )
+
+    # -- end-of-job accounting ------------------------------------------------------------
+
+    def on_job_done(self, jobmanager) -> None:
+        """Buffer-pool leak check: a finished job must have returned every
+        output-pool buffer (consumers recycle; the in-flight log owns its
+        copies out of its *own* pool after the §6.1 exchange)."""
+        if not self.enabled:
+            return
+        for vertex in jobmanager.vertices.values():
+            task = vertex.task
+            if task is None:
+                continue
+            pool = getattr(task, "out_pool", None)
+            if pool is None:
+                continue
+            if task.status.value == "finished" and pool.in_use_buffers:
+                self._violate(
+                    "buffer-leak",
+                    task.name,
+                    f"output pool still holds {pool.in_use_buffers} buffer(s) "
+                    "after the job finished",
+                )
+
+
+#: The process-wide instance the runtime hooks talk to.
+SANITIZER = RuntimeSanitizer()

@@ -1,0 +1,138 @@
+"""Lint findings and the report object NDLint hands back.
+
+A :class:`Finding` pins one rule violation to an absolute source location and
+the graph element it was reached from; a :class:`LintReport` aggregates them,
+separates suppressed hits (``# ndlint: disable=<rule>``), and renders the
+flake8-style listing the CLI prints.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.rules import RULES_BY_KEY, SEV_ERROR, SEV_WARNING, Rule
+
+#: ``# ndlint: disable`` or ``# ndlint: disable=ND101,rng`` (ids or names).
+_DISABLE_RE = re.compile(r"#\s*ndlint:\s*disable(?:=([\w\-,\s]+))?")
+
+
+def disabled_rules(line: str) -> Optional[frozenset]:
+    """Rules suppressed by an inline comment on ``line``.
+
+    Returns None when the line carries no marker; an empty frozenset means
+    "disable everything" (bare ``# ndlint: disable``).
+    """
+    match = _DISABLE_RE.search(line)
+    if match is None:
+        return None
+    if not match.group(1):
+        return frozenset()
+    keys = [k.strip() for k in match.group(1).split(",") if k.strip()]
+    resolved = set()
+    for key in keys:
+        rule = RULES_BY_KEY.get(key)
+        if rule is not None:
+            resolved.add(rule.rule_id)
+    return frozenset(resolved)
+
+
+def suppresses(line: str, rule: Rule) -> bool:
+    rules = disabled_rules(line)
+    if rules is None:
+        return False
+    return not rules or rule.rule_id in rules
+
+
+@dataclass
+class Finding:
+    """One rule violation at an absolute source position."""
+
+    rule: Rule
+    message: str
+    file: str
+    line: int
+    source_line: str = ""
+    #: The graph element / callable the engine reached this code from,
+    #: e.g. ``node 'calc' factory (nexmark-q14)``.
+    target: str = ""
+    suppressed: bool = False
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+    def render(self) -> str:
+        head = (
+            f"{self.location}: {self.rule.rule_id} {self.rule.name} "
+            f"[{self.rule.severity}] {self.message}"
+        )
+        if self.target:
+            head += f"  (via {self.target})"
+        detail = (
+            f"    expected determinant: {self.rule.determinant} ({self.rule.citation})\n"
+            f"    fix: {self.rule.remediation}"
+        )
+        if self.source_line.strip():
+            detail = f"    > {self.source_line.strip()}\n" + detail
+        return head + "\n" + detail
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class LintReport:
+    """Everything NDLint found over one lint surface (graph, file, callable)."""
+
+    subject: str = ""
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Callables the engine reached but could not read source for.
+    unresolved: List[str] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        (self.suppressed if finding.suppressed else self.findings).append(finding)
+
+    def extend(self, findings) -> None:
+        for finding in findings:
+            self.add(finding)
+
+    def merge(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.unresolved.extend(other.unresolved)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.rule.severity == SEV_ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.rule.severity == SEV_WARNING]
+
+    def ok(self, strict: bool = False) -> bool:
+        """Clean? Errors always fail; ``strict`` also fails on warnings."""
+        return not self.errors and not (strict and self.warnings)
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.errors)} error{'s' if len(self.errors) != 1 else ''}",
+            f"{len(self.warnings)} warning{'s' if len(self.warnings) != 1 else ''}",
+        ]
+        if self.suppressed:
+            parts.append(f"{len(self.suppressed)} suppressed")
+        status = "clean" if self.ok() else "NOT causally loggable"
+        subject = f" [{self.subject}]" if self.subject else ""
+        return f"ndlint{subject}: {', '.join(parts)} — {status}"
+
+    def render(self, verbose: bool = True) -> str:
+        lines = []
+        for finding in self.findings:
+            lines.append(finding.render() if verbose else str(finding).splitlines()[0])
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

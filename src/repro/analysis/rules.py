@@ -1,0 +1,386 @@
+"""NDLint rules: the catalogue of nondeterminism a UDF can smuggle past Clonos.
+
+Each rule describes one way operator logic can observe the world *without*
+going through the causal services layer (:mod:`repro.core.services`).  Such a
+call produces no determinant, so causal recovery silently replays it
+differently — the exact assumption violation that separates Clonos from the
+SEEP-style baselines (Table 1).  Every rule therefore names the determinant
+type that *would* have intercepted the call, the paper section that defines
+it, and the concrete rewrite that makes the UDF causally loggable.
+
+The AST matching lives in :class:`RuleVisitor`; rule identity/severity/
+remediation live in the frozen :class:`Rule` records so reports and errors
+(:class:`repro.errors.LintError`) can carry them around.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, severity, and its paper grounding."""
+
+    rule_id: str
+    name: str
+    severity: str
+    summary: str
+    #: Determinant type that should have intercepted this nondeterminism.
+    determinant: str
+    #: Paper section defining that determinant / nondeterminism source.
+    citation: str
+    remediation: str
+
+    def __str__(self) -> str:
+        return f"{self.rule_id} {self.name}"
+
+
+WALL_CLOCK = Rule(
+    "ND101",
+    "wall-clock",
+    SEV_ERROR,
+    "direct wall-clock read in operator logic",
+    "TimestampDeterminant",
+    "§4.1 (processing time), §4.2 Timestamps",
+    "use ctx.services.timestamp() (or ctx.processing_time()) so the value is "
+    "logged and replayed",
+)
+
+RNG = Rule(
+    "ND102",
+    "rng",
+    SEV_ERROR,
+    "module-level / OS randomness in operator logic",
+    "RngSeedDeterminant",
+    "§4.1 (RNG initialized from current time), §4.2 Random Numbers",
+    "use ctx.services.random(); Clonos reseeds it per epoch and logs the seed",
+)
+
+EXTERNAL_IO = Rule(
+    "ND103",
+    "external-io",
+    SEV_ERROR,
+    "direct I/O or network call bypassing the causal services",
+    "ExternalCallDeterminant",
+    "§4.1 (UDFs & external calls), §4.2 External Calls",
+    "route the call through ctx.services.http_get(key) or wrap it in "
+    "ctx.services.custom(name, fn, arg)",
+)
+
+UNORDERED_ITERATION = Rule(
+    "ND104",
+    "unordered-iteration",
+    SEV_WARNING,
+    "iteration over an unordered collection can change emission order",
+    "OrderDeterminant (covers consumption, not emission, order)",
+    "§4.1 (record arrival order)",
+    "iterate a sorted(...) copy (or an insertion-ordered dict) before emitting",
+)
+
+SHARED_STATE = Rule(
+    "ND105",
+    "shared-mutable-state",
+    SEV_WARNING,
+    "mutation of captured state that is invisible to checkpoints",
+    "none — cross-record state must live in the keyed state backend",
+    "§2.2 (task state), §4.1",
+    "move the accumulator into ctx.state(StateDescriptor(...)) so snapshots "
+    "and replay see it",
+)
+
+AMBIENT = Rule(
+    "ND106",
+    "ambient-environment",
+    SEV_WARNING,
+    "read of ambient process/host environment",
+    "CustomDeterminant",
+    "§4.2 (custom user services, Listing 2)",
+    "wrap the read in ctx.services.custom(name, fn, arg) so the observed "
+    "value is logged",
+)
+
+ALL_RULES: Tuple[Rule, ...] = (
+    WALL_CLOCK,
+    RNG,
+    EXTERNAL_IO,
+    UNORDERED_ITERATION,
+    SHARED_STATE,
+    AMBIENT,
+)
+
+RULES_BY_KEY = {rule.rule_id: rule for rule in ALL_RULES}
+RULES_BY_KEY.update({rule.name: rule for rule in ALL_RULES})
+
+
+# -- call-pattern tables ----------------------------------------------------------
+
+#: Dotted-name suffixes read off the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.clock_gettime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: Dotted-name prefixes whose calls draw module-level / OS randomness.
+_RNG_PREFIXES = ("random.", "np.random.", "numpy.random.", "secrets.")
+_RNG_CALLS = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4", "os.getrandom"})
+
+#: Direct I/O / network entry points that bypass Services.
+_IO_PREFIXES = ("requests.", "urllib.", "socket.", "http.client.", "subprocess.")
+_IO_CALLS = frozenset({"open", "socket.socket"})
+#: The simulated drifting external service's synchronous accessor
+#: (repro.external.http.ExternalService.get_now): calling it outside
+#: ctx.services.custom() is exactly the un-intercepted external call.
+_IO_SUFFIXES = (".get_now",)
+
+#: Ambient host/process environment reads.
+_AMBIENT_PREFIXES = ("os.environ", "platform.", "sys.stdin")
+_AMBIENT_CALLS = frozenset(
+    {
+        "os.getenv",
+        "os.getpid",
+        "os.getppid",
+        "os.getcwd",
+        "os.cpu_count",
+        "socket.gethostname",
+        "socket.getfqdn",
+        "input",
+    }
+)
+
+#: Calls whose results have no deterministic order.
+_UNORDERED_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
+
+#: Methods that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "update",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "setdefault",
+    }
+)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _matches(name: str, exact: FrozenSet[str]) -> bool:
+    if name in exact:
+        return True
+    return any(name.endswith("." + pattern) for pattern in exact)
+
+
+def _prefixed(name: str, prefixes: Iterable[str]) -> bool:
+    return any(name == p.rstrip(".") or name.startswith(p) for p in prefixes)
+
+
+@dataclass
+class RawFinding:
+    """A rule hit, positioned relative to the snippet being linted."""
+
+    rule: Rule
+    lineno: int
+    col: int
+    message: str
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Walks one callable's AST and collects :class:`RawFinding`s.
+
+    ``freevars`` are the closure variables of the analysed callable (from
+    ``fn.__code__.co_freevars``): mutating one of them is cross-record shared
+    state (ND105).  Calls inside the argument list of a
+    ``...services.custom(...)`` call are *sanctioned* — the custom determinant
+    intercepts whatever happens inside (Listing 2) — and are exempt from
+    ND101/ND102/ND103/ND106.
+    """
+
+    def __init__(self, freevars: Iterable[str] = ()):
+        self.freevars = frozenset(freevars)
+        self.findings: List[RawFinding] = []
+        self._sanctioned = 0
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _flag(self, rule: Rule, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            RawFinding(rule, getattr(node, "lineno", 0), getattr(node, "col_offset", 0), message)
+        )
+
+    @staticmethod
+    def _is_services_custom(name: Optional[str]) -> bool:
+        return bool(name) and (
+            name.endswith("services.custom") or name.endswith("services.http_get")
+        )
+
+    # -- call sites ------------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if self._is_services_custom(name):
+            # The services layer logs whatever the wrapped callable observes;
+            # everything inside the argument list is sanctioned.
+            self.visit(node.func)
+            self._sanctioned += 1
+            try:
+                for arg in node.args:
+                    self.visit(arg)
+                for kw in node.keywords:
+                    self.visit(kw)
+            finally:
+                self._sanctioned -= 1
+            return
+        if name is not None and not self._sanctioned:
+            self._check_call_name(name, node)
+        self.generic_visit(node)
+
+    def _check_call_name(self, name: str, node: ast.Call) -> None:
+        if _matches(name, _WALL_CLOCK_CALLS):
+            self._flag(WALL_CLOCK, node, f"direct wall-clock call {name}()")
+        elif _prefixed(name, _RNG_PREFIXES) or _matches(name, _RNG_CALLS):
+            self._flag(RNG, node, f"un-intercepted randomness {name}()")
+        elif _matches(name, _AMBIENT_CALLS) or _prefixed(name, _AMBIENT_PREFIXES):
+            self._flag(AMBIENT, node, f"ambient environment read {name}()")
+        elif _matches(name, _UNORDERED_CALLS):
+            self._flag(UNORDERED_ITERATION, node, f"unordered result of {name}()")
+        elif (
+            _prefixed(name, _IO_PREFIXES)
+            or name in _IO_CALLS
+            or any(name.endswith(s) for s in _IO_SUFFIXES)
+        ):
+            self._flag(
+                EXTERNAL_IO, node, f"direct external call {name}() bypasses Services"
+            )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # `os.environ[...]` reads without a call.
+        if not self._sanctioned and dotted_name(node) == "os.environ":
+            self._flag(AMBIENT, node, "ambient environment read os.environ")
+        self.generic_visit(node)
+
+    # -- unordered iteration --------------------------------------------------------
+
+    @staticmethod
+    def _is_unordered_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name in ("set", "frozenset")
+        return False
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_unordered_expr(node.iter):
+            self._flag(
+                UNORDERED_ITERATION,
+                node.iter,
+                "iteration over a set: emission order depends on hashing",
+            )
+        self.generic_visit(node)
+
+    def visit_comprehension_iter(self, node: ast.AST) -> None:
+        if self._is_unordered_expr(node):
+            self._flag(
+                UNORDERED_ITERATION,
+                node,
+                "comprehension over a set: result order depends on hashing",
+            )
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self.visit_comprehension_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    # -- shared mutable state ---------------------------------------------------------
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self._flag(
+            SHARED_STATE,
+            node,
+            f"nonlocal rebinding of {', '.join(node.names)} carries state "
+            "across records outside the state backend",
+        )
+        self.generic_visit(node)
+
+    def _base_name(self, node: ast.AST) -> Optional[str]:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                base = self._base_name(target)
+                if base in self.freevars:
+                    self._flag(
+                        SHARED_STATE,
+                        target,
+                        f"mutation of captured variable {base!r}",
+                    )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        base = self._base_name(node.target)
+        if base in self.freevars:
+            self._flag(SHARED_STATE, node, f"mutation of captured variable {base!r}")
+        self.generic_visit(node)
+
+    def _check_mutator_call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _MUTATORS:
+            base = self._base_name(node.func)
+            if base in self.freevars:
+                self._flag(
+                    SHARED_STATE,
+                    node,
+                    f"mutating call .{node.func.attr}() on captured variable {base!r}",
+                )
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            self._check_mutator_call(node)
+        super().generic_visit(node)
+
+
+def scan(tree: ast.AST, freevars: Iterable[str] = ()) -> List[RawFinding]:
+    """Run every rule over ``tree``; returns findings in source order."""
+    visitor = RuleVisitor(freevars)
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda f: (f.lineno, f.col))

@@ -1,0 +1,207 @@
+"""Runtime determinism sanitizer: catch what static analysis can't.
+
+Two mechanisms:
+
+* **Schedule hashing** — a :class:`ScheduleTracer` attached to every
+  :class:`~repro.sim.core.Environment` folds each popped event
+  ``(time, priority, kind, process-name)`` into a rolling hash.  The
+  simulation kernel is totally ordered, so two runs of the same program from
+  the same seed must produce identical hashes; any divergence means host-level
+  nondeterminism leaked in (unordered iteration, ``id()``-keyed containers,
+  un-seeded randomness) — exactly the class of bug that silently breaks the
+  paper's replay guarantee.
+* **Double-run mode** (:func:`double_run`) — execute a job twice, compare the
+  schedules step by step, and report the *first divergent event* with its
+  task/offset context.
+
+The protocol-invariant half (FIFO sequences, epoch monotonicity, buffer-pool
+leaks, determinant accounting) lives in :mod:`repro.analysis.invariants`; the
+CLI (``python -m repro sanitize``) enables both together.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.core import Environment
+
+#: One schedule entry: (time, priority, event kind, event/process name).
+Entry = Tuple[float, int, str, str]
+
+
+class ScheduleTracer:
+    """Rolling hash (and optional full trace) of one environment's schedule."""
+
+    __slots__ = ("_hash", "entries", "keep_trace", "steps")
+
+    def __init__(self, keep_trace: bool = True):
+        self._hash = hashlib.blake2b(digest_size=8)
+        self.entries: List[Entry] = []
+        self.keep_trace = keep_trace
+        self.steps = 0
+
+    def on_step(self, when: float, priority: int, event) -> None:
+        entry: Entry = (
+            round(when, 9),
+            priority,
+            type(event).__name__,
+            getattr(event, "name", ""),
+        )
+        self._hash.update(repr(entry).encode())
+        self.steps += 1
+        if self.keep_trace:
+            self.entries.append(entry)
+
+    def digest(self) -> str:
+        return self._hash.hexdigest()
+
+    def __repr__(self) -> str:
+        return f"ScheduleTracer(steps={self.steps}, hash={self.digest()})"
+
+
+@contextmanager
+def traced_environments(keep_trace: bool = True):
+    """Attach a fresh :class:`ScheduleTracer` to every Environment created
+    inside the ``with`` block; yields the list of tracers (in creation
+    order)."""
+    tracers: List[ScheduleTracer] = []
+
+    def factory() -> ScheduleTracer:
+        tracer = ScheduleTracer(keep_trace=keep_trace)
+        tracers.append(tracer)
+        return tracer
+
+    previous = Environment._tracer_factory
+    Environment._tracer_factory = staticmethod(factory)
+    try:
+        yield tracers
+    finally:
+        Environment._tracer_factory = previous
+
+
+def combined_digest(tracers: List[ScheduleTracer]) -> str:
+    """One hash over all environments of a run (harnesses create several)."""
+    rollup = hashlib.blake2b(digest_size=8)
+    for tracer in tracers:
+        rollup.update(tracer.digest().encode())
+    return rollup.hexdigest()
+
+
+@dataclass
+class Divergence:
+    """The first point where two runs' schedules disagree."""
+
+    env_index: int
+    step: int
+    first: Optional[Entry]
+    second: Optional[Entry]
+
+    def render(self) -> str:
+        def fmt(entry: Optional[Entry]) -> str:
+            if entry is None:
+                return "<schedule ended>"
+            when, priority, kind, name = entry
+            who = f" {name!r}" if name else ""
+            return f"t={when:.6f} prio={priority} {kind}{who}"
+
+        return (
+            f"first divergence: environment #{self.env_index}, step {self.step}\n"
+            f"    run A: {fmt(self.first)}\n"
+            f"    run B: {fmt(self.second)}"
+        )
+
+
+@dataclass
+class SanitizeReport:
+    """Outcome of a double run, plus any protocol-invariant violations."""
+
+    label: str
+    hash_a: str
+    hash_b: str
+    steps: int
+    environments: int
+    divergence: Optional[Divergence] = None
+    violations: List = field(default_factory=list)
+
+    @property
+    def deterministic(self) -> bool:
+        return self.divergence is None
+
+    @property
+    def ok(self) -> bool:
+        return self.deterministic and not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"sanitize [{self.label}]: {self.environments} environment(s), "
+            f"{self.steps} scheduled events per run",
+            f"    schedule hash run A: {self.hash_a}",
+            f"    schedule hash run B: {self.hash_b}"
+            + ("  (MATCH)" if self.hash_a == self.hash_b else "  (MISMATCH)"),
+        ]
+        if self.divergence is not None:
+            lines.append(self.divergence.render())
+        for violation in self.violations:
+            lines.append(f"    invariant violation: {violation}")
+        lines.append(
+            "verdict: deterministic, protocol invariants hold"
+            if self.ok
+            else "verdict: NONDETERMINISM DETECTED"
+        )
+        return "\n".join(lines)
+
+
+def _first_divergence(
+    first: List[ScheduleTracer], second: List[ScheduleTracer]
+) -> Optional[Divergence]:
+    if len(first) != len(second):
+        return Divergence(min(len(first), len(second)), 0, None, None)
+    for env_index, (a, b) in enumerate(zip(first, second)):
+        if a.digest() == b.digest():
+            continue
+        for step, (ea, eb) in enumerate(zip(a.entries, b.entries)):
+            if ea != eb:
+                return Divergence(env_index, step, ea, eb)
+        longer = a.entries if len(a.entries) > len(b.entries) else b.entries
+        step = min(len(a.entries), len(b.entries))
+        extra = longer[step] if step < len(longer) else None
+        return Divergence(
+            env_index,
+            step,
+            extra if len(a.entries) > len(b.entries) else None,
+            extra if len(b.entries) > len(a.entries) else None,
+        )
+    return None
+
+
+def double_run(
+    fn: Callable[[], object],
+    label: str = "",
+    keep_trace: bool = True,
+    check_invariants: bool = True,
+) -> SanitizeReport:
+    """Run ``fn`` twice from identical initial conditions and compare the
+    event schedules; optionally also arm the online protocol invariants."""
+    from repro.analysis.invariants import SANITIZER
+
+    violations: List = []
+    with SANITIZER.armed(enabled=check_invariants):
+        with traced_environments(keep_trace=keep_trace) as run_a:
+            fn()
+        violations.extend(SANITIZER.violations)
+        SANITIZER.reset()
+        with traced_environments(keep_trace=keep_trace) as run_b:
+            fn()
+        violations.extend(SANITIZER.violations)
+    return SanitizeReport(
+        label=label or getattr(fn, "__name__", "job"),
+        hash_a=combined_digest(run_a),
+        hash_b=combined_digest(run_b),
+        steps=sum(t.steps for t in run_a),
+        environments=len(run_a),
+        divergence=_first_divergence(run_a, run_b),
+        violations=violations,
+    )

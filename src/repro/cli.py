@@ -5,16 +5,22 @@
     python -m repro fig6-multi [--concurrent]
     python -m repro memory
     python -m repro table1
-    python -m repro spectrum
+    python -m repro lint [all | q5 | examples | path/to/file.py ...] [--strict]
+    python -m repro sanitize [all | quickstart | q3 ...]
 
-Every subcommand prints the reproduced table/series of the corresponding
-figure; see EXPERIMENTS.md for the mapping to the paper.
+Every experiment subcommand prints the reproduced table/series of the
+corresponding figure; see EXPERIMENTS.md for the mapping to the paper.
+``lint`` runs the NDLint static pass and ``sanitize`` the double-run
+determinism sanitizer (see README, "Verifying your pipeline is causally
+loggable").
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.harness.figures import (
@@ -135,6 +141,137 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+# -- determinism tooling ------------------------------------------------------
+
+#: Examples shipped at the repository root; linted as whole files and
+#: double-run (entry point per name) by ``sanitize``.
+_EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+_EXAMPLE_NAMES = ("quickstart", "fraud_detection", "exactly_once_output",
+                  "nexmark_hot_items")
+
+
+class _LintProbeService:
+    """Stand-in for Q13's external side-input service during graph lint."""
+
+    def get_now(self, key):
+        return key
+
+
+def _load_example(name: str):
+    path = _EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _query_graph(name: str):
+    """Build query ``name``'s graph against a fresh log (for linting)."""
+    from repro.external.kafka import DurableLog
+    from repro.nexmark.queries import QUERIES
+
+    log = DurableLog()
+    external = _LintProbeService() if name == "Q13" else None
+    return QUERIES[name](log, external=external)
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_file, lint_graph
+    from repro.nexmark.queries import QUERIES
+
+    targets = [t for t in (args.targets or ["all"])]
+    reports = []
+    for raw in targets:
+        target = raw.strip()
+        upper = target.upper()
+        if target == "all":
+            reports.extend(
+                lint_file(_EXAMPLES_DIR / f"{name}.py") for name in _EXAMPLE_NAMES
+            )
+            reports.extend(lint_graph(_query_graph(q)) for q in sorted(QUERIES))
+        elif target == "examples":
+            reports.extend(
+                lint_file(_EXAMPLES_DIR / f"{name}.py") for name in _EXAMPLE_NAMES
+            )
+        elif upper in QUERIES:
+            reports.append(lint_graph(_query_graph(upper)))
+        elif target.endswith(".py"):
+            reports.append(lint_file(target))
+        else:
+            print(f"unknown lint target {target!r} "
+                  f"(all | examples | Q1..Q14 | path/to/file.py)", file=sys.stderr)
+            return 2
+    failed = False
+    for report in reports:
+        print(report.summary())
+        if report.findings:
+            print(report.render())
+        for target in report.unresolved:
+            print(f"ndlint: cannot read source for {target!r}", file=sys.stderr)
+        failed = failed or not report.ok(strict=args.strict) or bool(report.unresolved)
+    n_err = sum(len(r.errors) for r in reports)
+    n_warn = sum(len(r.warnings) for r in reports)
+    print(f"\nndlint: {len(reports)} targets, {n_err} errors, {n_warn} warnings")
+    return 1 if failed else 0
+
+
+def _sanitize_thunk(target: str):
+    """Resolve a sanitize target to ``(label, zero-arg runnable)``."""
+    if target == "quickstart":
+        module = _load_example("quickstart")
+        return "quickstart (with failure)", lambda: module.run(kill_the_counter=True)
+    if target == "fraud_detection":
+        from repro.config import FaultToleranceMode
+
+        module = _load_example("fraud_detection")
+        return "fraud_detection (CLONOS)", lambda: module.run(FaultToleranceMode.CLONOS)
+    if target == "exactly_once_output":
+        from repro.core.output import ExactlyOnceKafkaSink
+
+        module = _load_example("exactly_once_output")
+        return (
+            "exactly_once_output (§5.5 sink)",
+            lambda: module.run(lambda log: ExactlyOnceKafkaSink(log, "alerts")),
+        )
+    if target == "nexmark_hot_items":
+        return _sanitize_thunk("Q5")
+    upper = target.upper()
+    from repro.nexmark.queries import QUERIES
+
+    if upper in QUERIES:
+        from repro.config import FaultToleranceMode
+        from repro.harness.experiment import run_experiment
+        from repro.harness.figures import experiment_config, nexmark_graph_fn
+
+        config = experiment_config(FaultToleranceMode.CLONOS, None)
+        graph_fn = nexmark_graph_fn(upper, 2, 2000, 2000.0)
+        return (
+            f"nexmark {upper} (CLONOS)",
+            lambda: run_experiment(graph_fn, config, limit=3600),
+        )
+    return None
+
+
+def _cmd_sanitize(args) -> int:
+    from repro.analysis import double_run
+
+    targets = list(args.targets or ["all"])
+    if "all" in targets:
+        targets = list(_EXAMPLE_NAMES[:-1]) + ["Q1", "Q3", "Q5", "Q8"]
+    ok = True
+    for target in targets:
+        resolved = _sanitize_thunk(target)
+        if resolved is None:
+            print(f"unknown sanitize target {target!r} "
+                  f"(all | {' | '.join(_EXAMPLE_NAMES)} | Q1..Q14)", file=sys.stderr)
+            return 2
+        label, thunk = resolved
+        report = double_run(thunk, label=label, keep_trace=args.trace)
+        print(report.render())
+        ok = ok and report.ok
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +304,23 @@ def build_parser() -> argparse.ArgumentParser:
     pt = sub.add_parser("table1", help="consistency vs determinism matrix")
     pt.add_argument("--events", type=int, default=4000)
     pt.set_defaults(fn=_cmd_table1)
+
+    pl = sub.add_parser("lint", help="NDLint: static nondeterminism check")
+    pl.add_argument("targets", nargs="*",
+                    help="all | examples | Q1..Q14 | path/to/file.py (default: all)")
+    pl.add_argument("--strict", action="store_true",
+                    help="treat warnings as failures too")
+    pl.set_defaults(fn=_cmd_lint)
+
+    ps = sub.add_parser(
+        "sanitize", help="double-run determinism sanitizer + protocol invariants"
+    )
+    ps.add_argument("targets", nargs="*",
+                    help="all | quickstart | fraud_detection | exactly_once_output "
+                         "| nexmark_hot_items | Q1..Q14 (default: all)")
+    ps.add_argument("--no-trace", dest="trace", action="store_false",
+                    help="skip the per-event trace (hash comparison only)")
+    ps.set_defaults(fn=_cmd_sanitize)
     return parser
 
 

@@ -35,6 +35,7 @@ from repro.core.determinants import (
     TimestampDeterminant,
     WatermarkEmitDeterminant,
 )
+from repro.analysis.invariants import SANITIZER
 from repro.errors import DeterminantLogError
 
 _CONTROL_KINDS = ("order", "timer", "barrier", "watermark", "rpc")
@@ -89,6 +90,14 @@ class RecoveryManager:
             or any(self._values[k] for k in _VALUE_KINDS)
             or any(self._queue_logs.values())
         )
+        if SANITIZER.enabled:
+            # Replay-provenance accounting: everything replay may consume was
+            # produced by the original run and retrieved in this bundle.
+            SANITIZER.on_replay_loaded(
+                self.task_name,
+                len(self._control)
+                + sum(len(self._values[k]) for k in _VALUE_KINDS),
+            )
 
     # -- control-flow replay ----------------------------------------------------
 
@@ -99,6 +108,8 @@ class RecoveryManager:
         if not self._control:
             raise DeterminantLogError("control determinant log exhausted")
         self.replayed_control += 1
+        if SANITIZER.enabled:
+            SANITIZER.on_replay_consumed(self.task_name)
         det = self._control.popleft()
         self._maybe_finish()
         return det
@@ -120,6 +131,8 @@ class RecoveryManager:
                     f"determinant for {match!r}, log has {actual!r}"
                 )
         self.replayed_values += 1
+        if SANITIZER.enabled:
+            SANITIZER.on_replay_consumed(self.task_name)
         self._maybe_finish()
         return det
 

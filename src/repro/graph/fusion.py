@@ -18,6 +18,7 @@ from __future__ import annotations
 import copy
 from typing import Any, Callable, List, Optional
 
+from repro.errors import JobError
 from repro.graph.elements import StreamRecord
 from repro.graph.logical import FORWARD, JobGraph, LogicalEdge, LogicalNode
 from repro.operators.base import Context, Operator
@@ -91,7 +92,7 @@ class ChainedOperator(Operator):
 
     def __init__(self, operators: List[Operator]):
         if not operators:
-            raise ValueError("a chain needs at least one operator")
+            raise JobError("a chain needs at least one operator")
         self.operators = operators
         self.deterministic = all(op.deterministic for op in operators)
         self._stage_contexts: Optional[List[_StageContext]] = None

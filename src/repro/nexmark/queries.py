@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.errors import JobError
 from repro.external.kafka import DurableLog
 from repro.graph.logical import DataStream, JobGraph, JobGraphBuilder
 from repro.nexmark.generator import event_timestamp
@@ -390,7 +391,7 @@ def q13(log: DurableLog, parallelism: int = 2, in_topic: str = "nexmark",
     external service — NONDETERMINISTIC (the answer drifts; Section 4.1,
     UDFs & external calls) (D=3)."""
     if external is None:
-        raise ValueError("q13 needs the external side-input service")
+        raise JobError("q13 needs the external side-input service")
     builder = JobGraphBuilder("nexmark-q13")
     src = _source(builder, log, in_topic, parallelism)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.analysis.invariants import SANITIZER
 from repro.config import FaultToleranceMode, JobConfig
 from repro.core.causal_log import CausalLogManager
 from repro.core.inflight_log import InFlightLog
@@ -124,11 +125,44 @@ class JobManager:
         self._finished_tasks: Set[str] = set()
         self.done_signal = Signal(env)
         self._checkpoint_proc = None
+        #: NDLint report of the last ``submit(lint=...)`` call, if any.
+        self.lint_report = None
         #: (task_name, exception) for tasks that crashed on a bug (as opposed
         #: to injected failures); surfaced by run_until_done.
         self.crashed: List[Tuple[str, BaseException]] = []
 
     # -- deployment --------------------------------------------------------------------
+
+    def submit(self, lint: str = "off"):
+        """Lint the job graph for un-intercepted nondeterminism, then deploy.
+
+        ``lint`` selects the policy:
+
+        * ``"off"``    — deploy without analysis (same as :meth:`deploy`);
+        * ``"warn"``   — run NDLint, print findings to stderr, deploy anyway;
+        * ``"strict"`` — refuse graphs with error-severity findings by
+          raising :class:`~repro.errors.DeterminismViolation`.
+
+        Returns the :class:`~repro.analysis.report.LintReport` (None when
+        ``lint="off"``), also kept on :attr:`lint_report`.
+        """
+        if lint not in ("off", "warn", "strict"):
+            raise JobError(f"unknown lint policy {lint!r} (off|warn|strict)")
+        report = None
+        if lint != "off":
+            import sys
+
+            from repro.analysis import lint_graph
+            from repro.errors import DeterminismViolation
+
+            report = lint_graph(self.graph)
+            self.lint_report = report
+            if lint == "strict" and report.errors:
+                raise DeterminismViolation.from_findings(report.errors)
+            if report.findings:
+                print(report.render(), file=sys.stderr)
+        self.deploy()
+        return report
 
     def deploy(self) -> None:
         """Build the physical graph, start every task, start coordination."""
@@ -305,6 +339,7 @@ class JobManager:
                 self.cost.buffer_size_bytes,
                 name=f"out:{vertex.name}",
             )
+            task.out_pool = pool
             causal_ctx = task.causal_output_context()
             for edge, channels in vertex.out_links:
                 out_channels = [
@@ -503,6 +538,8 @@ class JobManager:
             if self.env.peek() > deadline:
                 raise JobError(f"job did not finish within {limit}s of simulated time")
             self.env.step()
+        if SANITIZER.enabled:
+            SANITIZER.on_job_done(self)
         return self.env.now
 
     def task_of(self, task_name: str) -> StreamTask:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Callable, Dict, List, NamedTuple, Optional
 
+from repro.analysis.invariants import SANITIZER
 from repro.config import FaultToleranceMode, JobConfig
 from repro.core.causal_log import CausalLogManager
 from repro.core.determinants import (
@@ -158,6 +159,17 @@ class StreamTask:
         self._seep_drop: Dict[int, int] = {}
         self.seep_records_dropped = 0
 
+        #: Output buffer pool (set by deployment when the task has outputs);
+        #: the sanitizer's leak accounting reads it at end of job.
+        self.out_pool = None
+        #: Exactly-once modes must never re-deliver a consumed sequence
+        #: number; at-least-once replay (SEEP/divergent) legitimately does.
+        self._fifo_strict = config.mode in (
+            FaultToleranceMode.NONE,
+            FaultToleranceMode.GLOBAL_ROLLBACK,
+            FaultToleranceMode.CLONOS,
+        )
+
     # -- wiring (done by deployment) ------------------------------------------------
 
     def attach_inputs(self, gate: InputGate, infos: List[InputInfo]) -> None:
@@ -212,6 +224,8 @@ class StreamTask:
         replay_from_epoch: int = 0,
     ) -> None:
         """Begin execution, optionally restoring state / entering recovery."""
+        if SANITIZER.enabled:
+            SANITIZER.on_task_start(self.name)
         if snapshot is not None:
             self._restore(snapshot)
         if self.services is not None and hasattr(self.services, "reseed_for_epoch"):
@@ -379,6 +393,10 @@ class StreamTask:
     # -- normal-path processing ------------------------------------------------------------
 
     def _process_buffer(self, channel_index: int, buffer: NetworkBuffer):
+        if SANITIZER.enabled:
+            SANITIZER.on_buffer(
+                self.name, channel_index, buffer.seq, strict=self._fifo_strict
+            )
         self.charge(
             self.cost.buffer_overhead_cost
             + self.cost.serialize_time(buffer.size_bytes)
@@ -468,6 +486,8 @@ class StreamTask:
 
     def _handle_barrier(self, channel_index: int, barrier: CheckpointBarrier):
         checkpoint_id = barrier.checkpoint_id
+        if SANITIZER.enabled:
+            SANITIZER.on_barrier(self.name, channel_index, checkpoint_id)
         if checkpoint_id <= self.epoch:
             return  # duplicate barrier re-delivered by an at-least-once replay
         if self._aligning is None:

@@ -306,11 +306,18 @@ class Environment:
     All model components share one environment.  Time is a float in seconds.
     """
 
+    #: Optional factory installed by :mod:`repro.analysis.sanitizer`: every
+    #: new environment attaches the tracer it returns, and :meth:`step` feeds
+    #: it each popped event — the schedule hash of the determinism sanitizer.
+    _tracer_factory: Optional[Callable[[], Any]] = None
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        factory = Environment._tracer_factory
+        self.tracer = factory() if factory is not None else None
 
     @property
     def now(self) -> float:
@@ -361,6 +368,8 @@ class Environment:
         if when < self._now - 1e-12:
             raise SimulationError("time went backwards")
         self._now = max(self._now, when)
+        if self.tracer is not None:
+            self.tracer.on_step(when, _prio, event)
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         if callbacks:

@@ -1,0 +1,47 @@
+"""CLI exit-code tests for ``repro lint`` / ``repro sanitize``."""
+
+from pathlib import Path
+
+from repro.cli import main
+
+from tests.analysis import fixture_udfs as fx
+
+FIXTURE_FILE = str(Path(fx.__file__))
+
+
+def test_lint_all_shipped_code_is_clean(capsys):
+    assert main(["lint", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "ndlint" in out and "0 errors" in out
+
+
+def test_lint_flags_fixture_file(capsys):
+    assert main(["lint", FIXTURE_FILE]) == 1
+    out = capsys.readouterr().out
+    assert "ND101" in out and "ND103" in out
+
+
+def test_lint_strict_fails_on_warnings(tmp_path, capsys):
+    warn_only = tmp_path / "warn_only.py"
+    warn_only.write_text(
+        "def op(record, ctx):\n"
+        "    for item in {1, 2, 3}:\n"
+        "        ctx.collect(item)\n"
+    )
+    assert main(["lint", str(warn_only)]) == 0
+    assert main(["lint", "--strict", str(warn_only)]) == 1
+
+
+def test_lint_single_query(capsys):
+    assert main(["lint", "q5"]) == 0
+    assert "nexmark-q5" in capsys.readouterr().out
+
+
+def test_lint_unknown_target(capsys):
+    assert main(["lint", "nonsense"]) == 2
+    assert "unknown lint target" in capsys.readouterr().err
+
+
+def test_sanitize_unknown_target(capsys):
+    assert main(["sanitize", "nonsense"]) == 2
+    assert "unknown sanitize target" in capsys.readouterr().err

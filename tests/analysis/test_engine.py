@@ -1,0 +1,106 @@
+"""NDLint engine tests: callable resolution over job graphs, trust
+boundaries, and the whole-file sweep."""
+
+from pathlib import Path
+
+from repro.analysis import lint_file, lint_graph
+from repro.analysis.engine import resolve_callables
+from repro.graph.logical import JobGraphBuilder
+from repro.operators import FlatMapOperator, ProcessOperator
+
+from tests.analysis import fixture_udfs as fx
+
+FIXTURE_FILE = Path(fx.__file__)
+
+
+class _StubSource:
+    def poll(self, ctx):
+        return None
+
+
+def _graph(udf):
+    builder = JobGraphBuilder("lint-fixture")
+    stream = builder.source("src", lambda: _StubSource())
+    stream.key_by(lambda v: v).process("op", lambda: ProcessOperator(udf)).sink(
+        "snk", lambda: _StubSource()
+    )
+    return builder.build()
+
+
+def test_graph_with_bad_udf_fails():
+    report = lint_graph(_graph(fx.bad_wall_clock))
+    assert not report.ok()
+    (finding,) = report.errors
+    assert finding.rule.rule_id == "ND101"
+    # The target names the graph element the engine reached the UDF from.
+    assert "node 'op' factory" in finding.target
+    assert "bad_wall_clock" in finding.target
+
+
+def test_graph_with_sanctioned_udf_passes():
+    report = lint_graph(_graph(fx.good_wall_clock))
+    assert report.ok(strict=True)
+    assert report.findings == []
+
+
+def test_resolution_reaches_operator_methods():
+    targets = [t for t, _ in resolve_callables(lambda: _StubSource(), "factory")]
+    assert any("_StubSource.poll" in t for t in targets)
+
+
+def test_library_operators_are_trusted():
+    # A graph of pure repro.operators callables has no lint surface at all:
+    # their nondeterminism already flows through the causal services.
+    builder = JobGraphBuilder("trusted")
+    stream = builder.source("src", lambda: _StubSource())
+    stream.process("split", lambda: FlatMapOperator(str.split)).sink(
+        "snk", lambda: _StubSource()
+    )
+    report = lint_graph(builder.build())
+    assert report.ok(strict=True)
+
+
+def test_bad_key_selector_is_linted(tmp_path):
+    fixture = tmp_path / "keyed.py"
+    fixture.write_text(
+        "import random\n"
+        "from repro.graph.logical import JobGraphBuilder\n"
+        "class Src:\n"
+        "    def poll(self, ctx):\n"
+        "        return None\n"
+        "def build():\n"
+        "    b = JobGraphBuilder('g')\n"
+        "    s = b.source('src', lambda: Src())\n"
+        "    s.key_by(lambda v: random.randrange(4)).sink('snk', lambda: Src())\n"
+        "    return b.build()\n"
+    )
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("keyed_fixture", fixture)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    report = lint_graph(module.build())
+    assert {f.rule.rule_id for f in report.errors} == {"ND102"}
+    assert any("key_selector" in f.target for f in report.errors)
+
+
+def test_lint_file_sweeps_whole_module():
+    report = lint_file(FIXTURE_FILE)
+    ids = {f.rule.rule_id for f in report.findings}
+    assert {"ND101", "ND102", "ND103", "ND104", "ND105", "ND106"} <= ids
+    assert len(report.suppressed) == 1  # the # ndlint: disable line
+
+
+def test_lint_file_missing_path_is_unresolved():
+    report = lint_file("/nonexistent/nowhere.py")
+    assert report.unresolved == ["/nonexistent/nowhere.py"]
+
+
+def test_duplicate_udfs_reported_once():
+    bad = fx.bad_wall_clock
+    builder = JobGraphBuilder("dedup")
+    stream = builder.source("src", lambda: _StubSource())
+    a = stream.process("a", lambda: ProcessOperator(bad))
+    a.process("b", lambda: ProcessOperator(bad)).sink("snk", lambda: _StubSource())
+    report = lint_graph(builder.build())
+    assert len(report.errors) == 1

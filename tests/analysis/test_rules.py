@@ -1,0 +1,84 @@
+"""Per-rule NDLint tests: every rule fires on its bad fixture and stays
+silent on the sanctioned rewrite."""
+
+from repro.analysis import lint_callable
+
+from tests.analysis import fixture_udfs as fx
+
+
+def rule_ids(report):
+    return {f.rule.rule_id for f in report.findings}
+
+
+def test_wall_clock_flagged():
+    report = lint_callable(fx.bad_wall_clock, target="bad_wall_clock")
+    assert rule_ids(report) == {"ND101"}
+    (finding,) = report.findings
+    assert finding.rule.severity == "error"
+    assert finding.rule.determinant == "TimestampDeterminant"
+    assert "time.time" in finding.message
+    assert finding.file.endswith("fixture_udfs.py")
+    assert finding.source_line.strip() in open(finding.file).read()
+
+
+def test_wall_clock_sanctioned():
+    assert lint_callable(fx.good_wall_clock).findings == []
+
+
+def test_rng_flagged():
+    report = lint_callable(fx.bad_rng)
+    assert rule_ids(report) == {"ND102"}
+    assert report.findings[0].rule.determinant == "RngSeedDeterminant"
+
+
+def test_rng_sanctioned():
+    assert lint_callable(fx.good_rng).findings == []
+
+
+def test_external_io_flagged():
+    report = lint_callable(fx.bad_external)
+    assert rule_ids(report) == {"ND103"}
+    assert report.findings[0].rule.determinant == "ExternalCallDeterminant"
+
+
+def test_external_io_inside_services_custom_is_sanctioned():
+    assert lint_callable(fx.good_external).findings == []
+
+
+def test_unordered_iteration_flagged_as_warning():
+    report = lint_callable(fx.bad_unordered)
+    assert rule_ids(report) == {"ND104"}
+    assert report.findings[0].rule.severity == "warning"
+
+
+def test_sorted_iteration_passes():
+    assert lint_callable(fx.good_unordered).findings == []
+
+
+def test_closure_mutation_flagged():
+    op = fx.make_bad_closure_counter()
+    report = lint_callable(op)
+    assert "ND105" in rule_ids(report)
+    assert any("counts" in f.message for f in report.findings)
+
+
+def test_ambient_environment_flagged():
+    report = lint_callable(fx.bad_ambient)
+    assert rule_ids(report) == {"ND106"}
+    assert report.findings[0].rule.determinant == "CustomDeterminant"
+
+
+def test_inline_suppression():
+    report = lint_callable(fx.suppressed_wall_clock)
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].rule.rule_id == "ND101"
+    assert report.ok(strict=True)
+
+
+def test_report_strictness():
+    warn_only = lint_callable(fx.bad_unordered)
+    assert warn_only.ok() and not warn_only.ok(strict=True)
+    errors = lint_callable(fx.bad_wall_clock)
+    assert not errors.ok()
+    assert "NOT causally loggable" in errors.summary()
