@@ -41,6 +41,26 @@ def _lint_status() -> str:
         return f"unavailable ({type(exc).__name__})"
 
 
+@lru_cache(maxsize=1)
+def _chaos_status() -> str:
+    """Seeded chaos-soak verdict (computed once per session; recorded in
+    every benchmark's extra_info next to the NDLint verdict, so a recovery
+    regression that would corrupt the failure experiments is visible in the
+    saved numbers).  A handful of fixed seeds keeps it cheap; each seed
+    reproduces locally with ``python -m repro chaos --seed N``."""
+    try:
+        from repro.chaos import chaos_soak
+
+        results = chaos_soak(range(4), max_faults=3, n_records=600)
+        violations = [r.seed for r in results if r.verdict == "violation"]
+        if violations:
+            return f"violations at seeds {violations}"
+        degraded = sum(r.verdict != "exactly-once" for r in results)
+        return f"clean ({len(results)} seeds, {degraded} degraded)"
+    except Exception as exc:  # pragma: no cover - keep benchmarks running
+        return f"unavailable ({type(exc).__name__})"
+
+
 @pytest.fixture(autouse=True)
 def surface_reproduced_tables(capsys, request):
     """Benchmarks print the reproduced paper tables; pytest would normally
@@ -69,6 +89,7 @@ def run_once(benchmark, fn, *args, **kwargs):
     with traced_environments(keep_trace=False) as tracers:
         result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
     benchmark.extra_info["ndlint"] = _lint_status()
+    benchmark.extra_info["chaos"] = _chaos_status()
     benchmark.extra_info["schedule_hash"] = combined_digest(tracers)
     benchmark.extra_info["schedule_events"] = sum(t.steps for t in tracers)
     return result

@@ -1,0 +1,300 @@
+"""The chaos engine: schedules a :class:`FaultPlan` against a deployed job.
+
+All randomness derives from the plan's seed (named substreams), so a run is
+exactly reproducible.  Every applied or skipped fault is recorded on the
+engine for post-run accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.plan import LINK_KINDS, FaultPlan, FaultSpec
+from repro.config import FaultToleranceMode
+from repro.errors import ChaosError
+from repro.net.link import LinkChaos, NetworkLink
+from repro.runtime.task import TaskStatus
+from repro.sim.rng import derive_seed
+
+#: Modes whose upstreams keep in-flight logs — the prerequisite for
+#: sender-driven repair of lossy links.
+_INFLIGHT_MODES = (
+    FaultToleranceMode.CLONOS,
+    FaultToleranceMode.DIVERGENT,
+    FaultToleranceMode.SEEP,
+)
+
+
+class ControlPlaneChaos:
+    """A windowed lossy/duplicating control plane, consulted by every
+    :class:`~repro.runtime.rpc.ControlQueue` delivery while installed.
+
+    ``target`` restricts the faults to traffic involving matching parties
+    (sender or receiver, exact name or glob): a *partial* control-plane
+    partition, isolating one task or node while the rest of the job's
+    control traffic flows normally."""
+
+    def __init__(
+        self,
+        env,
+        rng: random.Random,
+        drop_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        start: float = 0.0,
+        until: float = float("inf"),
+        target: Optional[str] = None,
+    ):
+        self.env = env
+        self.rng = rng
+        self.drop_rate = drop_rate
+        self.dup_rate = dup_rate
+        self.start = start
+        self.until = until
+        self.target = None if target in (None, "*") else target
+
+    def _active(self, now: float) -> bool:
+        return self.start <= now < self.until
+
+    def _matches(self, parties) -> bool:
+        if self.target is None:
+            return True
+        for party in parties:
+            if party is None:
+                continue
+            if party == self.target or fnmatch(party, self.target):
+                return True
+        return False
+
+    def should_drop(self, now: float, *parties: Optional[str]) -> bool:
+        return (
+            self._active(now)
+            and self._matches(parties)
+            and self.rng.random() < self.drop_rate
+        )
+
+    def should_duplicate(self, now: float, *parties: Optional[str]) -> bool:
+        return (
+            self._active(now)
+            and self._matches(parties)
+            and self.rng.random() < self.dup_rate
+        )
+
+
+class ChaosEngine:
+    """Arms a plan against a deployed :class:`JobManager`."""
+
+    def __init__(self, jm, plan: FaultPlan):
+        plan.validate()
+        self.jm = jm
+        self.env = jm.env
+        self.plan = plan
+        self.rng = random.Random(derive_seed(plan.seed, "chaos-engine"))
+        #: (time, kind, target) of faults actually injected.
+        self.applied: List[Tuple[float, str, str]] = []
+        #: (time, kind, target, reason) of faults that could not apply.
+        self.skipped: List[Tuple[float, str, str, str]] = []
+        #: link -> (upstream task name, flat channel index, downstream name).
+        self._links: Dict[NetworkLink, Tuple[str, int, str]] = {}
+        for vertex in jm.vertices.values():
+            for _edge, channels in vertex.out_links:
+                for flat_idx, down_name, link in channels:
+                    self._links[link] = (vertex.name, flat_idx, down_name)
+        self._armed = False
+
+    # -- arming -----------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule every spec.  Raises :class:`ChaosError` up front for
+        faults the job's mode cannot absorb (``link_loss`` needs upstream
+        in-flight logs to repair from)."""
+        if self._armed:
+            raise ChaosError("chaos engine already armed")
+        self._armed = True
+        mode = self.jm.config.mode
+        for spec in self.plan.specs:
+            if spec.kind == "link_loss" and mode not in _INFLIGHT_MODES:
+                raise ChaosError(
+                    f"link_loss requires an in-flight-log mode "
+                    f"(CLONOS/DIVERGENT/SEEP), job runs {mode.name}"
+                )
+            self.env.schedule_callback(
+                max(0.0, spec.at - self.env.now), lambda s=spec: self._apply(s)
+            )
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _note(self, spec: FaultSpec, target: str) -> None:
+        self.applied.append((self.env.now, spec.kind, target))
+        self.jm.recovery_events.append(
+            (self.env.now, f"chaos:{spec.kind}", target)
+        )
+
+    def _skip(self, spec: FaultSpec, reason: str) -> None:
+        self.skipped.append((self.env.now, spec.kind, spec.target, reason))
+
+    def _pick_task(self, pattern: str) -> Optional[str]:
+        # Exact names first: task names contain "[0]" which fnmatch would
+        # read as a character class.
+        if pattern in self.jm.vertices:
+            return pattern
+        names = sorted(n for n in self.jm.vertices if fnmatch(n, pattern))
+        if not names:
+            return None
+        return self.rng.choice(names)
+
+    def _matched_links(self, pattern: str) -> List[NetworkLink]:
+        exact = [link for link in self._links if link.name == pattern]
+        if exact:
+            return exact
+        return [link for link in self._links if fnmatch(link.name, pattern)]
+
+    def _chaos_for(self, link: NetworkLink) -> LinkChaos:
+        if link.chaos is None:
+            link.chaos = LinkChaos(self.env)
+        if link.chaos.on_loss is None:
+            link.chaos.on_loss = self._on_link_loss
+        return link.chaos
+
+    def _on_link_loss(self, link: NetworkLink) -> None:
+        """First drop of a loss episode: schedule the sender-driven repair
+        after the connection-level detection delay."""
+        up_name, flat_idx, down_name = self._links[link]
+        self.env.schedule_callback(
+            self.jm.cost.connection_failure_detection,
+            lambda: self.jm.repair_channel(up_name, flat_idx, down_name),
+        )
+
+    # -- application ------------------------------------------------------------
+
+    def _apply(self, spec: FaultSpec) -> None:
+        handler = getattr(self, f"_apply_{spec.kind}")
+        handler(spec)
+
+    def _apply_task_kill(self, spec: FaultSpec) -> None:
+        name = self._pick_task(spec.target)
+        if name is None:
+            self._skip(spec, "no matching task")
+            return
+        task = self.jm.vertices[name].task
+        if task is None or task.status not in (
+            TaskStatus.RUNNING,
+            TaskStatus.RECOVERING,
+        ):
+            self._skip(spec, f"status {task.status.value if task else 'absent'}")
+            return
+        self._note(spec, name)
+        self.jm.kill_task(name, force=True)
+
+    def _apply_node_crash(self, spec: FaultSpec) -> None:
+        if spec.target.isdigit():
+            node_id = int(spec.target)
+        else:
+            name = self._pick_task(spec.target)
+            node_id = self.jm.cluster.node_of(name) if name is not None else None
+        if node_id is None:
+            self._skip(spec, "no such node")
+            return
+        self._note(spec, f"node:{node_id}")
+        self.jm.kill_node(node_id, force=True, fail_node=spec.fail_node)
+
+    def _apply_standby_loss(self, spec: FaultSpec) -> None:
+        name = self._pick_task(spec.target)
+        vertex = self.jm.vertices.get(name) if name is not None else None
+        if vertex is None or vertex.standby is None or vertex.standby.failed:
+            self._skip(spec, "no live standby")
+            return
+        self._note(spec, name)
+        vertex.standby.fail()
+        self.jm.recovery_events.append((self.env.now, "standby-lost", name))
+
+    def _apply_link_partition(self, spec: FaultSpec) -> None:
+        links = self._matched_links(spec.target)
+        if not links:
+            self._skip(spec, "no matching link")
+            return
+        for link in links:
+            chaos = self._chaos_for(link)
+            chaos.partitioned = True
+            self._note(spec, link.name)
+            self.env.schedule_callback(spec.duration, chaos.heal)
+
+    def _apply_link_delay(self, spec: FaultSpec) -> None:
+        links = self._matched_links(spec.target)
+        if not links:
+            self._skip(spec, "no matching link")
+            return
+        for link in links:
+            chaos = self._chaos_for(link)
+            chaos.delay_factor = spec.factor
+            self._note(spec, link.name)
+
+            def restore(c=chaos) -> None:
+                c.delay_factor = 1.0
+
+            self.env.schedule_callback(spec.duration, restore)
+
+    def _apply_link_loss(self, spec: FaultSpec) -> None:
+        links = self._matched_links(spec.target)
+        if not links:
+            self._skip(spec, "no matching link")
+            return
+        link = self.rng.choice(sorted(links, key=lambda l: l.name))
+        chaos = self._chaos_for(link)
+        chaos.drop_next += spec.count
+        self._note(spec, link.name)
+
+    def _apply_rpc_chaos(self, spec: FaultSpec) -> None:
+        rng = random.Random(
+            derive_seed(self.plan.seed, f"rpc-chaos@{spec.at:g}")
+        )
+        self.jm.control_chaos = ControlPlaneChaos(
+            self.env,
+            rng,
+            drop_rate=spec.rate,
+            dup_rate=spec.dup_rate,
+            start=self.env.now,
+            until=self.env.now + spec.duration
+            if spec.duration
+            else float("inf"),
+            target=spec.target,
+        )
+        self._note(spec, f"drop={spec.rate:g},dup={spec.dup_rate:g}")
+
+    def _apply_dfs_outage(self, spec: FaultSpec) -> None:
+        self.jm.dfs.set_outage(self.env.now + spec.duration)
+        self._note(spec, f"{spec.duration:g}s")
+
+    def _apply_dfs_brownout(self, spec: FaultSpec) -> None:
+        self.jm.dfs.set_brownout(self.env.now + spec.duration, spec.factor)
+        self._note(spec, f"{spec.duration:g}s x{spec.factor:g}")
+
+    def _apply_external_faults(self, spec: FaultSpec) -> None:
+        external = self.jm.external
+        if external is None:
+            self._skip(spec, "no external service")
+            return
+        rng = random.Random(
+            derive_seed(self.plan.seed, f"external-faults@{spec.at:g}")
+        )
+        external.set_faults(
+            self.env.now + spec.duration,
+            error_rate=spec.rate,
+            timeout_factor=spec.factor,
+            rng=rng,
+        )
+        self._note(spec, external.name)
+
+    # -- accounting --------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "applied": len(self.applied),
+            "skipped": len(self.skipped),
+            "kinds": sorted({k for (_t, k, _x) in self.applied}),
+            "control_plane_drops": sum(self.jm.control_plane_drops.values()),
+            "link_buffers_dropped": sum(
+                link.chaos.dropped for link in self._links if link.chaos is not None
+            ),
+        }

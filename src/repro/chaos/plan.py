@@ -1,0 +1,182 @@
+"""Declarative fault plans.
+
+A plan is data, not code: a seed plus a list of :class:`FaultSpec`s, each
+naming an injection time, a fault kind, and a target.  The same plan against
+the same job config replays the exact same havoc — chaos runs are
+reproducible by construction, which is what makes a failing soak seed
+debuggable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ChaosError
+
+#: Every fault shape the engine knows how to inject.
+FAULT_KINDS = frozenset(
+    {
+        "task_kill",        # crash one task (force: also mid-recovery)
+        "node_crash",       # crash every occupant of one cluster node
+        "standby_loss",     # a standby replica dies (its snapshot with it)
+        "link_partition",   # hold one link's deliveries for `duration`
+        "link_delay",       # scale one link's transmission time by `factor`
+        "link_loss",        # drop the next `count` buffers on one link
+        "rpc_chaos",        # control-plane loss/duplication window
+        "dfs_outage",       # DFS fails every operation for `duration`
+        "dfs_brownout",     # DFS `factor` times slower for `duration`
+        "external_faults",  # external service error/slow window
+    }
+)
+
+#: Kinds that interpret ``target`` as a link-name glob (fnmatch against
+#: names like ``"src[0]->stage1[1]"``).
+LINK_KINDS = frozenset({"link_partition", "link_delay", "link_loss"})
+
+#: Kinds that need no target at all.
+GLOBAL_KINDS = frozenset({"rpc_chaos", "dfs_outage", "dfs_brownout", "external_faults"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Field use per kind:
+
+    * ``task_kill`` / ``standby_loss`` — ``target`` is a task name
+      (``"stage1[0]"``) or ``"*"`` (engine picks one, seeded).
+    * ``node_crash`` — ``target`` is a node id (``"3"``) or a task name
+      (crash the node hosting it); ``fail_node`` marks the node dead.
+    * link kinds — ``target`` is a link glob; ``duration`` bounds
+      partitions/delays, ``factor`` scales delay, ``count`` buffers are lost.
+    * ``rpc_chaos`` — ``rate`` = drop probability, ``dup_rate`` = duplicate
+      probability, for ``duration`` seconds.  ``target`` (default ``"*"``)
+      restricts the faults to control traffic involving matching parties —
+      a partial partition isolating one task's control plane.
+    * ``dfs_outage`` / ``dfs_brownout`` — ``duration`` (+ ``factor``).
+    * ``external_faults`` — ``rate`` = error probability, ``factor`` =
+      latency multiplier, for ``duration``.
+    """
+
+    at: float
+    kind: str
+    target: str = "*"
+    duration: float = 0.0
+    count: int = 1
+    rate: float = 0.0
+    dup_rate: float = 0.0
+    factor: float = 1.0
+    fail_node: bool = False
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ChaosError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ChaosError(f"{self.kind}: injection time must be >= 0")
+        if self.duration < 0:
+            raise ChaosError(f"{self.kind}: duration must be >= 0")
+        if not 0.0 <= self.rate <= 1.0 or not 0.0 <= self.dup_rate <= 1.0:
+            raise ChaosError(f"{self.kind}: rates must be in [0, 1]")
+        if self.kind == "link_loss" and self.count < 1:
+            raise ChaosError("link_loss: count must be >= 1")
+        if self.kind in ("link_delay", "dfs_brownout") and self.factor < 1.0:
+            raise ChaosError(f"{self.kind}: factor must be >= 1")
+
+
+@dataclass
+class FaultPlan:
+    """A seed plus an ordered list of faults."""
+
+    seed: int = 0
+    specs: List[FaultSpec] = field(default_factory=list)
+
+    def add(self, at: float, kind: str, target: str = "*", **kwargs) -> "FaultPlan":
+        spec = FaultSpec(at=at, kind=kind, target=target, **kwargs)
+        spec.validate()
+        self.specs.append(spec)
+        return self
+
+    def validate(self) -> None:
+        for spec in self.specs:
+            spec.validate()
+
+    def kinds(self) -> List[str]:
+        return sorted({s.kind for s in self.specs})
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def random_plan(
+    seed: int,
+    horizon: float,
+    task_names: Sequence[str] = (),
+    link_names: Sequence[str] = (),
+    max_faults: int = 5,
+    kinds: Optional[Sequence[str]] = None,
+    allow_rpc_chaos: bool = True,
+) -> FaultPlan:
+    """A deterministic random plan: same ``seed`` -> same plan.
+
+    Faults land in the middle 80% of ``horizon`` so both the failure-free
+    prefix and the post-chaos drain exist.  ``kinds`` restricts the palette
+    (defaults to everything applicable given the provided targets).
+    """
+    rng = random.Random(seed)
+    palette = list(kinds) if kinds is not None else [
+        "task_kill",
+        "standby_loss",
+        "link_partition",
+        "link_delay",
+        "link_loss",
+        "dfs_outage",
+        "dfs_brownout",
+        "external_faults",
+    ]
+    if allow_rpc_chaos and (kinds is None):
+        palette.append("rpc_chaos")
+    if not task_names:
+        palette = [k for k in palette if k not in ("task_kill", "standby_loss", "node_crash")]
+    if not link_names:
+        palette = [k for k in palette if k not in LINK_KINDS]
+    if not palette:
+        raise ChaosError("random_plan: no applicable fault kinds")
+    plan = FaultPlan(seed=seed)
+    for _ in range(rng.randint(1, max(1, max_faults))):
+        kind = rng.choice(palette)
+        at = round(horizon * (0.1 + 0.8 * rng.random()), 4)
+        window = round(horizon * (0.02 + 0.1 * rng.random()), 4)
+        if kind in ("task_kill", "standby_loss"):
+            plan.add(at, kind, target=rng.choice(list(task_names)))
+        elif kind == "node_crash":
+            plan.add(at, kind, target=rng.choice(list(task_names)))
+        elif kind == "link_partition":
+            plan.add(at, kind, target=rng.choice(list(link_names)), duration=window)
+        elif kind == "link_delay":
+            plan.add(
+                at, kind, target=rng.choice(list(link_names)),
+                duration=window, factor=1.0 + 9.0 * rng.random(),
+            )
+        elif kind == "link_loss":
+            plan.add(at, kind, target=rng.choice(list(link_names)),
+                     count=rng.randint(1, 4))
+        elif kind == "rpc_chaos":
+            plan.add(
+                at, kind, duration=window,
+                rate=0.05 + 0.25 * rng.random(),
+                dup_rate=0.1 * rng.random(),
+            )
+        elif kind == "dfs_outage":
+            plan.add(at, kind, duration=window)
+        elif kind == "dfs_brownout":
+            plan.add(at, kind, duration=window, factor=2.0 + 8.0 * rng.random())
+        elif kind == "external_faults":
+            plan.add(
+                at, kind, duration=window,
+                rate=0.1 + 0.4 * rng.random(),
+                factor=1.0 + 4.0 * rng.random(),
+            )
+    plan.specs.sort(key=lambda s: s.at)
+    return plan

@@ -17,6 +17,7 @@ in the paper's testbed.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -74,6 +75,27 @@ class SpillPolicy(enum.Enum):
 
 
 @dataclass
+class RetryPolicy:
+    """Jittered exponential backoff, shared by every hardened retry loop
+    (recovery steps, control RPCs, DFS access, external calls)."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    #: Fractional jitter: each delay is scaled by 1 ± jitter (deterministic
+    #: when the caller passes a seeded rng).
+    jitter: float = 0.25
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        delay = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(delay, 0.0)
+
+
+@dataclass
 class CostModel:
     """Simulated-time costs of the physical actions in the system.
 
@@ -103,6 +125,9 @@ class CostModel:
     network_bandwidth: float = 120e6
     #: Latency of a control-plane RPC (job manager <-> task).
     rpc_latency: float = 2e-3
+    #: How long a *reliable* control RPC waits for its ack before resending
+    #: (must cover a round trip; see ``ControlQueue.send(reliable=True)``).
+    rpc_ack_timeout: float = 10e-3
 
     # -- buffers -------------------------------------------------------------
     #: Serialised capacity of one network buffer.
@@ -138,6 +163,12 @@ class CostModel:
     task_cancel_time: float = 1.0
     #: Time for an idle standby task to start running (sub-second switch).
     standby_activation_time: float = 0.3
+    #: How long a deferred ``kill_task`` injection waits for its victim to
+    #: come back to RUNNING before giving up with a structured error.
+    kill_deferral_deadline: float = 300.0
+    #: Consecutive missed heartbeats before the failure detector *suspects* a
+    #: task (false-positive suppression: a single delay spike is forgiven).
+    suspicion_threshold: int = 3
 
     def transmission_time(self, size_bytes: int) -> float:
         """Wire time of one buffer."""
@@ -184,6 +215,30 @@ class ClonosConfig:
     #: Standby placement anti-affinity: never co-locate a standby with the
     #: task it mirrors (Section 6.3).
     standby_anti_affinity: bool = True
+    #: Per-step deadline of the 6-step recovery protocol: a step that does
+    #: not finish within this window is killed and the attempt retried.
+    recovery_step_deadline: float = 30.0
+    #: Escalation ladder: how many local-recovery attempts (standby first,
+    #: then fresh deployment from the DFS checkpoint) before degrading to
+    #: global-rollback semantics.
+    recovery_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=3, base_delay=0.2, multiplier=2.0, max_delay=5.0
+        )
+    )
+    #: Backoff for checkpoint restore / snapshot upload against a flaky DFS.
+    dfs_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=4, base_delay=0.1, multiplier=2.0, max_delay=2.0
+        )
+    )
+    #: Backoff for external (HTTP-ish) service calls made through the causal
+    #: services layer.
+    external_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=4, base_delay=0.02, multiplier=2.0, max_delay=0.5
+        )
+    )
 
 
 @dataclass
@@ -203,6 +258,25 @@ class JobConfig:
     watermark_interval: float = 0.2
     #: Allowed out-of-orderness (lateness bound) for event-time watermarks.
     watermark_lateness: float = 0.5
+    #: At-least-once control RPCs for the recovery-critical messages (replay
+    #: requests): message ids, acks, timeout-driven resends.  Turning this
+    #: off demonstrates how a lossy control plane wedges recovery.
+    reliable_control_plane: bool = True
+    #: Resend schedule of reliable control RPCs.
+    rpc_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=8, base_delay=0.02, multiplier=2.0, max_delay=0.5
+        )
+    )
+    #: Abort a pending checkpoint whose barriers/acks never complete (e.g. an
+    #: ``inject_barrier`` RPC was lost); ``None`` means 10x the interval.
+    checkpoint_timeout: Optional[float] = None
+
+    @property
+    def effective_checkpoint_timeout(self) -> float:
+        if self.checkpoint_timeout is not None:
+            return self.checkpoint_timeout
+        return 10.0 * self.checkpoint_interval
 
     def validate(self) -> None:
         if self.checkpoint_interval <= 0:

@@ -64,17 +64,18 @@ class ExactlyOnceKafkaSink(Operator):
     def open(self, ctx: Context) -> None:
         n_parts = len(self.log.partitions_of(self.topic))
         self._partition_index = ctx.subtask_index % n_parts
-        if self._restored:
-            # Ask the external system what it already holds for epochs >=
-            # the restored checkpoint: those appends will be replayed and
-            # must be skipped.
-            store = self._metadata_store()
-            self._skip = {
-                epoch: len(dets)
-                for epoch, dets in store.items()
-                if epoch >= self._epoch
-            }
-            self._restored = False
+        # Ask the external system what it already holds for epochs >= the
+        # current one: those appends will be replayed and must be skipped.
+        # Unconditional (not just after restore()): a task that crashes
+        # before its first checkpoint recovers with no snapshot at all, so
+        # restore() is never called, yet its pre-crash appends are stored.
+        store = self._metadata_store()
+        self._skip = {
+            epoch: len(dets)
+            for epoch, dets in store.items()
+            if epoch >= self._epoch
+        }
+        self._restored = False
 
     def process(self, record: StreamRecord, ctx: Context) -> None:
         if self._skip.get(self._epoch, 0) > 0:
@@ -93,6 +94,16 @@ class ExactlyOnceKafkaSink(Operator):
         # The external system stores the determinant alongside the record.
         self._metadata_store().setdefault(self._epoch, []).append(determinant)
         self.appended += 1
+
+    def reset_external_dedup(self) -> None:
+        """Degraded (global-rollback) restart: replayed input may diverge
+        from the original run, so count-based skipping is unsound — clear
+        the stored determinants and re-append everything (at-least-once)."""
+        for index in range(len(self.log.partitions_of(self.topic))):
+            partition = self.log.partition(self.topic, index)
+            if hasattr(partition, "output_determinants"):
+                partition.output_determinants = {}
+        self._skip = {}
 
     def _metadata_store(self) -> Dict[int, list]:
         partition = self.log.partition(self.topic, self._partition_index)

@@ -53,6 +53,7 @@ class RecoveryManager:
         }
         self._queue_logs: Dict[int, List[BufferSizeDeterminant]] = {}
         self._active = False
+        self._loaded = False
         #: Statistics for the experiments.
         self.replayed_control = 0
         self.replayed_values = 0
@@ -63,7 +64,17 @@ class RecoveryManager:
 
     def load(self, bundle: LogBundle, from_epoch: int) -> None:
         """Ingest the retrieved bundle, keeping only epochs >= ``from_epoch``
-        (earlier epochs are covered by the restored checkpoint)."""
+        (earlier epochs are covered by the restored checkpoint).
+
+        Loading twice would double every determinant and corrupt replay, so
+        a second ``load`` (e.g. a duplicated control path under chaos) is an
+        error — retried recovery attempts build a *fresh* task and manager.
+        """
+        if self._loaded:
+            raise DeterminantLogError(
+                f"{self.task_name}: recovery bundle loaded twice"
+            )
+        self._loaded = True
         main = bundle.log(MAIN)
         for epoch in main.epochs():
             if epoch < from_epoch:

@@ -26,6 +26,7 @@ from repro.core.determinants import (
     TimestampDeterminant,
 )
 from repro.core.recovery import RecoveryManager
+from repro.errors import ExternalSystemError
 from repro.external.http import ExternalService
 from repro.operators.base import Services
 from repro.sim.core import Environment
@@ -81,6 +82,7 @@ class CausalServices(Services):
         task_name: str,
         root_seed: int = 0,
         timestamp_granularity: float = 1e-3,
+        external_retry=None,
     ):
         self.env = env
         self.causal = causal
@@ -89,6 +91,12 @@ class CausalServices(Services):
         self.task_name = task_name
         self.root_seed = root_seed
         self.granularity = timestamp_granularity
+        #: RetryPolicy for transient external-call failures; None = one shot.
+        self.external_retry = external_retry
+        self._retry_rng = random.Random(
+            derive_seed(root_seed, f"{task_name}:external-retry")
+        )
+        self.external_retries = 0
         self._cached_ts: Optional[float] = None
         self._rng = random.Random(derive_seed(root_seed, f"{task_name}:rng:0"))
         #: Calls answered from the log (for assertions in tests).
@@ -165,7 +173,20 @@ class CausalServices(Services):
                 return det.response
         if self.external is None:
             raise RuntimeError("no external service configured")
-        response = yield from self.external.get(key)
+        # Retry transient failures with backoff; only the final, successful
+        # response is logged, so the determinant stream stays replay-safe.
+        attempt = 0
+        while True:
+            try:
+                response = yield from self.external.get(key)
+                break
+            except ExternalSystemError:
+                policy = self.external_retry
+                if policy is None or attempt >= policy.max_attempts - 1:
+                    raise
+                self.external_retries += 1
+                yield self.env.timeout(policy.delay(attempt, self._retry_rng))
+                attempt += 1
         self.causal.append_main(ExternalCallDeterminant(key, response))
         return response
 

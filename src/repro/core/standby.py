@@ -5,6 +5,12 @@ machinery, but idle.  After every completed checkpoint the job manager
 dispatches the running task's snapshot to its standby; activation waits for
 any in-flight transfer, so a standby is never more than one checkpoint
 behind.
+
+A standby is itself a process on a node and can crash (node failure, chaos
+``standby_loss``) — including *during* activation.  :meth:`fail` models
+that: the held snapshot is gone, an in-flight activation raises
+:class:`~repro.errors.RecoveryError`, and the recovery supervisor escalates
+to a fresh deployment from the DFS checkpoint.
 """
 
 from __future__ import annotations
@@ -30,6 +36,23 @@ class StandbyState:
         self.snapshot: Optional[TaskSnapshot] = None
         self._transfer_done = None  # event while a dispatch is in flight
         self.transfers_received = 0
+        self.failed = False
+        self._fail_event = None  # event while an activation is waiting
+
+    @property
+    def usable(self) -> bool:
+        """Whether the fast-path activation can use this standby."""
+        return not self.failed and self.snapshot is not None
+
+    def fail(self) -> None:
+        """The standby process crashed: its in-memory state is lost."""
+        if self.failed:
+            return
+        self.failed = True
+        self.snapshot = None
+        if self._fail_event is not None:
+            event, self._fail_event = self._fail_event, None
+            event.succeed()
 
     def dispatch(self, snapshot: TaskSnapshot):
         """Generator: ship ``snapshot`` to the standby over the network.
@@ -40,17 +63,30 @@ class StandbyState:
         self._transfer_done = self.env.event()
         try:
             yield self.env.timeout(self.cost.transmission_time(snapshot.size_bytes))
-            self.snapshot = snapshot
-            self.transfers_received += 1
+            if not self.failed:
+                self.snapshot = snapshot
+                self.transfers_received += 1
         finally:
             done, self._transfer_done = self._transfer_done, None
             done.succeed()
 
     def wait_ready(self):
         """Generator: if a transfer is in flight, wait for it (Section 6.4:
-        activation waits for the transfer to complete)."""
+        activation waits for the transfer to complete).  Raises
+        :class:`RecoveryError` if the standby crashed — before or *during*
+        the wait."""
+        if self.failed:
+            raise RecoveryError(f"standby for {self.task_name} has failed")
         if self._transfer_done is not None:
-            yield self._transfer_done
+            self._fail_event = self.env.event()
+            yield self.env.any_of([self._transfer_done, self._fail_event])
+            self._fail_event = None
+        if self.failed:
+            raise RecoveryError(
+                f"standby for {self.task_name} crashed during activation"
+            )
+        # No snapshot (no checkpoint completed yet) is fine: activation
+        # proceeds with empty state.
         return self.snapshot
 
     @property

@@ -34,6 +34,28 @@ class RecoveryError(ReproError):
     """The recovery protocol could not complete."""
 
 
+class ChaosError(ReproError):
+    """A fault plan is invalid or targets something that does not exist."""
+
+
+class FailureInjectionError(JobError):
+    """A fault could not be injected, structured for tooling.
+
+    Carries the victim and its *actual* status so chaos schedules can tell
+    "victim already finished" apart from "victim never came back".
+    """
+
+    def __init__(self, victim: str, status, waited: float = None):
+        status_name = getattr(status, "value", status)
+        message = f"cannot kill {victim}: status is {status_name}"
+        if waited is not None:
+            message += f" after deferring {waited:g}s"
+        super().__init__(message)
+        self.victim = victim
+        self.status = status
+        self.waited = waited
+
+
 class OrphanStateError(RecoveryError):
     """A surviving task depends on a nondeterministic event whose determinant
     was lost with the failed tasks; local recovery is impossible and the job

@@ -28,14 +28,45 @@ class DistributedFileSystem:
         self._io_slots = Resource(env, write_slots)
         self.bytes_written = 0
         self.bytes_read = 0
+        # -- chaos state (set by repro.chaos) ---------------------------------
+        #: Operations before this instant fail with ExternalSystemError.
+        self.outage_until = 0.0
+        #: Operations before this instant are slowed by ``brownout_factor``.
+        self.brownout_until = 0.0
+        self.brownout_factor = 1.0
+        self.failed_ops = 0
+
+    def set_outage(self, until: float) -> None:
+        """Full DFS outage until simulated time ``until``."""
+        self.outage_until = max(self.outage_until, until)
+
+    def set_brownout(self, until: float, factor: float) -> None:
+        """Degraded DFS (all I/O ``factor`` times slower) until ``until``."""
+        self.brownout_until = max(self.brownout_until, until)
+        self.brownout_factor = factor
+
+    def _check_outage(self) -> None:
+        if self.env.now < self.outage_until:
+            self.failed_ops += 1
+            raise ExternalSystemError(
+                f"dfs outage (until t={self.outage_until:g})"
+            )
+
+    def _degraded(self, seconds: float) -> float:
+        if self.env.now < self.brownout_until:
+            return seconds * self.brownout_factor
+        return seconds
 
     def write(self, path: str, size_bytes: int):
         """Generator: persist ``size_bytes`` under ``path``."""
         if size_bytes < 0:
             raise ExternalSystemError("negative write size")
+        self._check_outage()
         yield self._io_slots.acquire()
         try:
-            yield self.env.timeout(self.cost.dfs_write_time(size_bytes))
+            self._check_outage()
+            yield self.env.timeout(self._degraded(self.cost.dfs_write_time(size_bytes)))
+            self._check_outage()
             self._blobs[path] = size_bytes
             self.bytes_written += size_bytes
         finally:
@@ -45,10 +76,13 @@ class DistributedFileSystem:
         """Generator: read a blob back (size defaults to what was written)."""
         if path not in self._blobs:
             raise ExternalSystemError(f"no blob at {path!r}")
+        self._check_outage()
         nbytes = self._blobs[path] if size_bytes is None else size_bytes
         yield self._io_slots.acquire()
         try:
-            yield self.env.timeout(self.cost.dfs_read_time(nbytes))
+            self._check_outage()
+            yield self.env.timeout(self._degraded(self.cost.dfs_read_time(nbytes)))
+            self._check_outage()
             self.bytes_read += nbytes
         finally:
             self._io_slots.release()

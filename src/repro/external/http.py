@@ -33,6 +33,29 @@ class ExternalService:
         self._rng = streams.stream(f"external-service:{name}")
         self._base: Dict[str, float] = {}
         self.calls = 0
+        # -- chaos state (set by repro.chaos) ---------------------------------
+        #: Until this instant, calls error with probability ``fault_error_rate``
+        #: and successful calls are slowed by ``fault_timeout_factor``.
+        self.fault_until = 0.0
+        self.fault_error_rate = 0.0
+        self.fault_timeout_factor = 1.0
+        self._fault_rng = None
+        self.errors_injected = 0
+
+    def set_faults(
+        self,
+        until: float,
+        error_rate: float = 0.0,
+        timeout_factor: float = 1.0,
+        rng=None,
+    ) -> None:
+        """Open a fault window: until ``until``, ``get`` raises
+        :class:`ExternalSystemError` with probability ``error_rate`` and
+        slows successful responses by ``timeout_factor``."""
+        self.fault_until = max(self.fault_until, until)
+        self.fault_error_rate = error_rate
+        self.fault_timeout_factor = timeout_factor
+        self._fault_rng = rng if rng is not None else self._rng
 
     def _value_at(self, key: str, now: float) -> float:
         """Deterministic function of (key, time bucket): reproducible for
@@ -45,9 +68,20 @@ class ExternalService:
 
     def get(self, key: str):
         """Generator: performs the call, charging network latency; returns
-        the response value."""
-        yield self.env.timeout(self.latency)
+        the response value.  During a chaos fault window the call may raise
+        :class:`~repro.errors.ExternalSystemError` or respond slowly."""
+        latency = self.latency
+        faulty = self.env.now < self.fault_until
+        if faulty:
+            latency *= self.fault_timeout_factor
+        yield self.env.timeout(latency)
         self.calls += 1
+        if faulty and self._fault_rng is not None \
+                and self._fault_rng.random() < self.fault_error_rate:
+            from repro.errors import ExternalSystemError
+
+            self.errors_injected += 1
+            raise ExternalSystemError(f"{self.name}: injected error for {key!r}")
         return self._value_at(key, self.env.now)
 
     def get_now(self, key: str) -> float:

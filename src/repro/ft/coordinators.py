@@ -16,6 +16,16 @@ implements a published recovery strategy:
   operators — Table 1).
 * :class:`GapRecoveryCoordinator` — at-most-once gap recovery (Section 5.4):
   restart the failed task from its checkpoint and *skip* lost input.
+
+Recovery itself is supervised (the ``repro.chaos`` hardening): every step
+of the six-step protocol runs under a per-step deadline, failed attempts
+retry with jittered exponential backoff, and :class:`ClonosCoordinator`
+escalates along a ladder — (1) retry local recovery via the standby,
+(2) re-provision from the DFS checkpoint with a fresh deployment,
+(3) graceful degradation to global-rollback semantics, recorded as a
+``degraded:global_rollback`` recovery event.  Replay requests ride the
+reliable (acked, resent) control plane so a lossy network cannot wedge
+step 4.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ from typing import List, Optional
 from repro.config import FaultToleranceMode
 from repro.core.causal_log import merge_bundles
 from repro.core.dsd import RecoveryCase, classify_failed_task, downstream_within
-from repro.errors import JobError, RecoveryError
+from repro.errors import ExternalSystemError, JobError, RecoveryError, ReproError
 from repro.operators.source import KafkaSource
 from repro.runtime.task import TaskStatus
 
@@ -54,25 +64,92 @@ class BaseCoordinator:
     def on_failure_detected(self, task_name: str) -> None:
         raise NotImplementedError
 
+    # -- recovery supervision ---------------------------------------------------------
+
+    def _spawn_recovery(self, vertex, generator):
+        """Run ``generator`` as this vertex's recovery process, superseding
+        (killing) any still-running recovery for the same vertex — a repeat
+        failure mid-recovery restarts the procedure instead of racing it."""
+        procs = self.jm.recovery_procs.setdefault(vertex.name, [])
+        superseded = False
+        for stale in procs:
+            if stale.is_alive:
+                stale.kill()
+                superseded = True
+        if superseded:
+            self.jm.recovery_events.append(
+                (self.env.now, "recovery-superseded", vertex.name)
+            )
+        procs.clear()
+        proc = self.env.process(generator, name=f"recover:{vertex.name}")
+        procs.append(proc)
+        return proc
+
+    def _step(self, vertex_name: str, generator, deadline: float, label: str):
+        """Generator: run one protocol step with a deadline.  Returns
+        ``("ok", value)`` or ``("<label>:timeout"/"<label>:error", None)``;
+        a timed-out step is killed (its ``finally`` blocks release held
+        resources)."""
+        proc = self.env.process(generator, name=f"step:{label}:{vertex_name}")
+        self.jm.recovery_procs.setdefault(vertex_name, []).append(proc)
+        try:
+            yield self.env.any_of([proc, self.env.timeout(deadline)])
+        except ReproError:
+            self.jm.recovery_events.append(
+                (self.env.now, f"step-failed:{label}", vertex_name)
+            )
+            return (f"{label}:error", None)
+        if proc.triggered and proc.ok:
+            return ("ok", proc.value)
+        proc.kill()
+        self.jm.recovery_events.append(
+            (self.env.now, f"step-timeout:{label}", vertex_name)
+        )
+        return (f"{label}:timeout", None)
+
     # -- shared helpers ---------------------------------------------------------------
 
-    def _obtain_snapshot(self, vertex):
+    def _obtain_snapshot(self, vertex, prefer_standby: bool = True):
         """Generator: standby activation (fast path) or fresh deployment +
         checkpoint restore from the DFS (slow path).  Returns the snapshot
-        (or None when no checkpoint completed yet)."""
+        (or None when no checkpoint completed yet).  The DFS read retries
+        transient failures (outages, brownout timeouts) with backoff."""
         standby = vertex.standby
-        if standby is not None and standby.snapshot is not None:
+        if prefer_standby and standby is not None and standby.usable:
             yield self.env.timeout(self.cost.standby_activation_time)
             snapshot = yield from standby.wait_ready()
-            self.jm.cluster.allocate(vertex.name)
+            vertex.node_id = self.jm.allocate_task_slot(vertex)
             return snapshot
         yield self.env.timeout(self.cost.task_deploy_time)
-        self.jm.cluster.allocate(vertex.name)
+        vertex.node_id = self.jm.allocate_task_slot(vertex)
         cid = self.jm.completed_checkpoint
         if cid <= 0 or self.jm.snapshot_store.get(vertex.name, cid) is None:
             return None
-        snapshot = yield from self.jm.snapshot_store.load(vertex.name, cid)
+        snapshot = yield from self._load_with_retry(vertex.name, cid)
         return snapshot
+
+    def _load_with_retry(self, task_name: str, checkpoint_id: int):
+        """Generator: ``snapshot_store.load`` under the DFS retry policy."""
+        policy = self.jm.config.clonos.dfs_retry
+        rng = self.jm.streams.stream(f"dfs-retry:{task_name}")
+        attempt = 0
+        while True:
+            try:
+                snapshot = yield from self.jm.snapshot_store.load(
+                    task_name, checkpoint_id
+                )
+                return snapshot
+            except ExternalSystemError as exc:
+                if attempt >= policy.max_attempts - 1:
+                    raise RecoveryError(
+                        f"{task_name}: checkpoint {checkpoint_id} restore "
+                        f"failed after {attempt + 1} attempts: {exc}"
+                    ) from exc
+                self.jm.recovery_events.append(
+                    (self.env.now, "dfs-retry", task_name)
+                )
+                yield self.env.timeout(policy.delay(attempt, rng))
+                attempt += 1
 
     def _rebuild_task(self, vertex, snapshot):
         """Construct the replacement and perform the network reconfiguration
@@ -90,12 +167,29 @@ class BaseCoordinator:
         return task
 
     def _request_replays(self, vertex, from_epoch: int) -> None:
-        """Step 4: ask upstream tasks to replay their in-flight logs."""
+        """Step 4: ask upstream tasks to replay their in-flight logs.
+
+        Replay requests are recovery-critical: with the reliable control
+        plane they carry ids and are resent until acked, every resend
+        recorded in ``recovery_events``."""
+        jm = self.jm
+        reliable = jm.config.reliable_control_plane
         for _in_flat, _input_index, upstream_name, _link, up_flat in vertex.in_links:
-            upstream = self.jm.vertices[upstream_name].task
+            upstream = jm.vertices[upstream_name].task
             if upstream is None or upstream.status is TaskStatus.FAILED:
                 continue  # its own recovery will regenerate and send
             receiver_channel = vertex.task.gate.channels[_in_flat]
+
+            def note_retry(n: int, up: str = upstream_name) -> None:
+                jm.recovery_events.append(
+                    (self.env.now, f"rpc-retry:replay_request:{n}", up)
+                )
+
+            def note_give_up(n: int, up: str = upstream_name) -> None:
+                jm.recovery_events.append(
+                    (self.env.now, "rpc-exhausted:replay_request", up)
+                )
+
             upstream.control.send(
                 "replay_request",
                 {
@@ -105,6 +199,10 @@ class BaseCoordinator:
                     "requester": vertex.name,
                 },
                 sender=vertex.name,
+                reliable=reliable,
+                retry=jm.config.rpc_retry,
+                on_retry=note_retry,
+                on_give_up=note_give_up,
             )
 
 
@@ -130,42 +228,87 @@ class GlobalRollbackCoordinator(BaseCoordinator):
     def _restart_job(self):
         jm = self.jm
         jm.abort_pending_checkpoint()
+        jm.cancel_recovery_procs()
         self.global_restarts += 1
         jm.recovery_events.append((self.env.now, "global-restart-begin", "*"))
-        # Cancel every surviving task (they stop processing immediately).
+        # Cancel every surviving task (they stop processing immediately) —
+        # including tasks still mid-local-recovery: the restart supersedes
+        # their replay.
         for vertex in jm.vertices.values():
             task = vertex.task
-            if task is not None and task.status is TaskStatus.RUNNING:
+            if task is not None and task.status in (
+                TaskStatus.RUNNING,
+                TaskStatus.RECOVERING,
+            ):
                 task.fail()
                 jm.cluster.release(vertex.name)
         yield self.env.timeout(self.cost.task_cancel_time)
         cid = jm.completed_checkpoint
+        snapshots = {}
         procs = [
-            self.env.process(self._restart_one(vertex, cid), name=f"restart:{vertex.name}")
+            self.env.process(
+                self._prepare_one(vertex, cid, snapshots),
+                name=f"restart:{vertex.name}",
+            )
             for vertex in jm.vertices.values()
         ]
-        yield self.env.all_of(procs)
+        try:
+            yield self.env.all_of(procs)
+        except ReproError as exc:
+            # A restart that cannot complete (e.g. the cluster lost too much
+            # capacity) must surface as a job failure, not a silent wedge.
+            jm.recovery_events.append(
+                (self.env.now, "global-restart-failed", repr(exc))
+            )
+            jm.crashed.append(("global-restart", exc))
+            return
+        # Attach every rebuilt task to the links before any of them starts:
+        # snapshot loads finish at different times, and an upstream that
+        # started early would stream into a predecessor's torn-down gate —
+        # losing buffers (and advancing determinant-delta cursors past what
+        # the late-attaching receiver ever saw).
+        started = []
+        for vertex in jm.vertices.values():
+            task = jm._build_task(vertex)
+            vertex.task = task
+            # A global restart replays without causal determinants, so
+            # replayed input can diverge from the original run: count-based
+            # external dedup (ExactlyOnceKafkaSink) would turn that
+            # divergence into silent loss.  Degraded semantics are
+            # at-least-once — sinks drop their dedup state and re-append.
+            reset = getattr(task.operator, "reset_external_dedup", None)
+            if reset is not None:
+                reset()
+            started.append((task, snapshots.get(vertex.name)))
+        for task, snapshot in started:
+            task.start(snapshot)
         jm.dead_tasks.clear()
+        jm.recovering_tasks.clear()
         self._restarting = False
         jm.recovery_events.append((self.env.now, "global-restart-done", "*"))
 
-    def _restart_one(self, vertex, checkpoint_id: int):
+    def _prepare_one(self, vertex, checkpoint_id: int, snapshots: dict):
         yield self.env.timeout(self.cost.task_deploy_time)
-        self.jm.cluster.allocate(vertex.name)
-        snapshot = None
+        vertex.node_id = self.jm.allocate_task_slot(vertex)
         if checkpoint_id > 0 and self.jm.snapshot_store.get(vertex.name, checkpoint_id):
-            snapshot = yield from self.jm.snapshot_store.load(vertex.name, checkpoint_id)
-        task = self.jm._build_task(vertex)
-        vertex.task = task
-        task.start(snapshot)
+            snapshots[vertex.name] = yield from self._load_with_retry(
+                vertex.name, checkpoint_id
+            )
 
 
 class ClonosCoordinator(BaseCoordinator):
-    """The six-step protocol of Section 2.2, per failed task."""
+    """The six-step protocol of Section 2.2, per failed task — supervised.
+
+    Failure of an attempt escalates along the ladder: retry locally via the
+    standby, then re-provision a fresh deployment from the DFS checkpoint,
+    and finally degrade to global-rollback semantics (recorded as
+    ``degraded:global_rollback``).
+    """
 
     def __init__(self, jm):
         super().__init__(jm)
         self.fallbacks_to_global = 0
+        self.degradations = 0
         self._fallback = GlobalRollbackCoordinator(jm)
 
     def on_failure_detected(self, task_name: str) -> None:
@@ -192,14 +335,52 @@ class ClonosCoordinator(BaseCoordinator):
                 (self.env.now, "orphan-skip-dedup", task_name)
             )
         self.jm.recovering_tasks.add(task_name)
-        self.env.process(
-            self._recover_locally(vertex, case), name=f"recover:{task_name}"
-        )
+        self._spawn_recovery(vertex, self._supervised_recovery(vertex, case))
 
-    def _recover_locally(self, vertex, case: RecoveryCase):
+    def _supervised_recovery(self, vertex, case: RecoveryCase):
+        """The escalation ladder around :meth:`_attempt_recovery`."""
         jm = self.jm
+        policy = jm.config.clonos.recovery_retry
+        rng = jm.streams.stream(f"recovery-backoff:{vertex.name}")
+        attempts = max(1, policy.max_attempts)
+        for attempt in range(attempts):
+            # Rung 1 uses the standby; later rungs re-provision from the
+            # DFS checkpoint with a fresh deployment.
+            label = yield from self._attempt_recovery(
+                vertex, case, prefer_standby=(attempt == 0)
+            )
+            if label is None:
+                return
+            jm.recovery_events.append(
+                (self.env.now, f"recovery-retry:{label}", vertex.name)
+            )
+            if attempt < attempts - 1:
+                yield self.env.timeout(policy.delay(attempt, rng))
+        # Rung 3: graceful degradation to global-rollback semantics.
+        self.degradations += 1
+        jm.recovery_events.append(
+            (self.env.now, "degraded:global_rollback", vertex.name)
+        )
+        jm.recovering_tasks.discard(vertex.name)
+        self._fallback.on_failure_detected(vertex.name)
+
+    def _attempt_recovery(self, vertex, case: RecoveryCase, prefer_standby: bool):
+        """One pass over the six steps, each under the step deadline.
+        Returns None on success, else a label naming the failed step."""
+        jm = self.jm
+        deadline = jm.config.clonos.recovery_step_deadline
+        standby = vertex.standby
+        fast_path = prefer_standby and standby is not None and standby.usable
         # Step 1: activate standby / start replacement.
-        snapshot = yield from self._obtain_snapshot(vertex)
+        status, snapshot = yield from self._step(
+            vertex.name,
+            self._obtain_snapshot(vertex, prefer_standby),
+            deadline,
+            "standby-activation" if fast_path else "checkpoint-restore",
+        )
+        if status != "ok":
+            jm.cluster.release(vertex.name)
+            return status
         restore_epoch = snapshot.checkpoint_id if snapshot is not None else 0
         # Step 2: reconfigure network connections (+ dedup handshake).
         task = self._rebuild_task(vertex, snapshot)
@@ -210,7 +391,15 @@ class ClonosCoordinator(BaseCoordinator):
         # dedup): divergent replay, at-least-once.
         bundle = None
         if task.causal is not None and case is not RecoveryCase.ORPHANED:
-            bundle = yield from self._fetch_determinants(vertex)
+            status, bundle = yield from self._step(
+                vertex.name,
+                self._fetch_determinants(vertex),
+                deadline,
+                "determinant-fetch",
+            )
+            if status != "ok":
+                jm.cluster.release(vertex.name)
+                return status
         if case is RecoveryCase.ORPHANED:
             for channel in task.all_output_channels:
                 channel.suppress_until_seq = -1
@@ -223,6 +412,11 @@ class ClonosCoordinator(BaseCoordinator):
             jm.recovering_tasks.discard(vertex.name)
         # Step 4: request in-flight replay from upstream (parallel to 3).
         self._request_replays(vertex, restore_epoch)
+        # HA restored: if the standby was consumed by a crash of its own,
+        # re-provision a fresh one (hydrated from the DFS checkpoint).
+        if jm._uses_standbys() and standby is not None and standby.failed:
+            jm.reprovision_standby(vertex)
+        return None
 
     def _fetch_determinants(self, vertex):
         """Collect this task's replicated bundle from every surviving holder
@@ -262,13 +456,20 @@ class LocalReplayCoordinator(BaseCoordinator):
 
     def on_failure_detected(self, task_name: str) -> None:
         self.jm.recovering_tasks.add(task_name)
-        self.env.process(
-            self._recover(self.jm.vertices[task_name]), name=f"recover:{task_name}"
-        )
+        vertex = self.jm.vertices[task_name]
+        self._spawn_recovery(vertex, self._recover(vertex))
 
     def _recover(self, vertex):
         jm = self.jm
-        snapshot = yield from self._obtain_snapshot(vertex)
+        try:
+            snapshot = yield from self._obtain_snapshot(vertex)
+        except RecoveryError:
+            # Standby crashed during activation: fall back to a fresh
+            # deployment from the DFS checkpoint.
+            jm.recovery_events.append(
+                (self.env.now, "recovery-retry:standby-activation:error", vertex.name)
+            )
+            snapshot = yield from self._obtain_snapshot(vertex, prefer_standby=False)
         restore_epoch = snapshot.checkpoint_id if snapshot is not None else 0
         task = self._rebuild_task(vertex, snapshot)
         task.seep_dedup = self.seep_dedup
@@ -300,13 +501,18 @@ class GapRecoveryCoordinator(BaseCoordinator):
 
     def on_failure_detected(self, task_name: str) -> None:
         self.jm.recovering_tasks.add(task_name)
-        self.env.process(
-            self._recover(self.jm.vertices[task_name]), name=f"recover:{task_name}"
-        )
+        vertex = self.jm.vertices[task_name]
+        self._spawn_recovery(vertex, self._recover(vertex))
 
     def _recover(self, vertex):
         jm = self.jm
-        snapshot = yield from self._obtain_snapshot(vertex)
+        try:
+            snapshot = yield from self._obtain_snapshot(vertex)
+        except RecoveryError:
+            jm.recovery_events.append(
+                (self.env.now, "recovery-retry:standby-activation:error", vertex.name)
+            )
+            snapshot = yield from self._obtain_snapshot(vertex, prefer_standby=False)
         task = self._rebuild_task(vertex, snapshot)
         # Gap recovery skips the lost data instead of regenerating it, so
         # sequence-number dedup is meaningless: new output is new data.

@@ -79,6 +79,11 @@ class ExperimentResult:
     input_throughput: List[ThroughputSample]
     failures: List[Tuple[float, str]]
     recovery_events: List[Tuple[float, str, str]]
+    #: Placements that had to break a (anti-)affinity constraint — non-zero
+    #: means some recovery lost its fault-isolation guarantee.
+    affinity_violations: int = 0
+    #: The armed chaos engine, when the run had a fault plan.
+    chaos: Optional[object] = None
 
     @property
     def latencies(self) -> List[LatencyPoint]:
@@ -126,11 +131,13 @@ def run_experiment(
     with_external: bool = False,
     limit: float = 3600.0,
     sample_period: float = 1.0 / 3.0,
+    fault_plan=None,
 ) -> ExperimentResult:
     """Run one experiment to completion (finite input) or for ``duration``.
 
     ``graph_fn(log, external)`` builds the job graph, creating its input
-    topics on ``log``.
+    topics on ``log``.  ``fault_plan`` (a :class:`repro.chaos.FaultPlan`)
+    arms a chaos engine against the deployed job before it runs.
     """
     env = Environment()
     log = DurableLog()
@@ -140,6 +147,12 @@ def run_experiment(
     graph = graph_fn(log, external)
     jm = JobManager(env, graph, config, external=external)
     jm.deploy()
+    engine = None
+    if fault_plan is not None:
+        from repro.chaos.engine import ChaosEngine
+
+        engine = ChaosEngine(jm, fault_plan)
+        engine.arm()
 
     from repro.metrics.collectors import ThroughputSampler
 
@@ -171,4 +184,6 @@ def run_experiment(
         input_throughput=in_sampler.samples,
         failures=list(jm.failures_injected),
         recovery_events=list(jm.recovery_events),
+        affinity_violations=jm.cluster.affinity_violations,
+        chaos=engine,
     )

@@ -119,6 +119,49 @@ def recovery_time(
     return max(late) - failure_time
 
 
+def count_events(
+    recovery_events: Iterable[Tuple[float, str, str]],
+    prefix: str,
+    who: Optional[str] = None,
+) -> int:
+    """How many recovery events have a kind starting with ``prefix``
+    (optionally restricted to one subject).  Event kinds are structured as
+    ``"family[:detail]"`` — e.g. ``count_events(evs, "rpc-retry")`` counts
+    every control-plane resend, ``count_events(evs, "recovery-retry")``
+    every escalation-ladder step."""
+    return sum(
+        1
+        for (_t, kind, subject) in recovery_events
+        if kind.startswith(prefix) and (who is None or subject == who)
+    )
+
+
+def recovery_summary(
+    recovery_events: Sequence[Tuple[float, str, str]],
+) -> dict:
+    """Tally the hardened-recovery machinery's event families for one run:
+    how often steps timed out or failed, how often recovery retried or
+    degraded, how many control RPCs were resent, how many spurious
+    failovers the suspicion threshold let through."""
+    return {
+        "detected": count_events(recovery_events, "detected"),
+        "recovered": count_events(recovery_events, "recovered"),
+        "step_timeouts": count_events(recovery_events, "step-timeout"),
+        "step_failures": count_events(recovery_events, "step-failed"),
+        "recovery_retries": count_events(recovery_events, "recovery-retry"),
+        "rpc_retries": count_events(recovery_events, "rpc-retry"),
+        "rpc_exhausted": count_events(recovery_events, "rpc-exhausted"),
+        "dfs_retries": count_events(recovery_events, "dfs-retry"),
+        "degradations": count_events(recovery_events, "degraded"),
+        "spurious_failovers": count_events(recovery_events, "spurious-failover"),
+        "standby_losses": count_events(recovery_events, "standby-lost"),
+        "standby_reprovisioned": count_events(
+            recovery_events, "standby-reprovisioned"
+        ),
+        "chaos_injected": count_events(recovery_events, "chaos:"),
+    }
+
+
 def throughput_dip(
     samples: Sequence[ThroughputSample],
     failure_time: float,

@@ -15,7 +15,44 @@ from repro.config import CostModel
 from repro.errors import NetworkError
 from repro.net.buffer import NetworkBuffer
 from repro.sim.core import Environment
-from repro.sim.queues import Store
+from repro.sim.queues import Signal, Store
+
+
+class LinkChaos:
+    """Fault state injected into one :class:`NetworkLink` by ``repro.chaos``.
+
+    Three fault shapes, all FIFO-preserving:
+
+    * **delay spike** — ``delay_factor`` scales transmission time;
+    * **partition** — delivery holds (senders back up on the in-transit
+      window) until :meth:`heal`;
+    * **buffer loss** — the next ``drop_next`` deliveries are discarded and
+      the link goes *broken* (every later delivery is dropped too, because
+      delivering a successor of a lost buffer would violate FIFO); repair is
+      sender-driven: the chaos engine notices the loss via ``on_loss`` and
+      has the upstream's in-flight log retransmit from the receiver's last
+      delivered sequence number.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.delay_factor = 1.0
+        self.partitioned = False
+        self._heal_signal = Signal(env)
+        #: Pending injected drops; the first one breaks the link.
+        self.drop_next = 0
+        self.broken = False
+        self.dropped = 0
+        #: Called once per loss episode with the link, from the pump.
+        self.on_loss = None
+
+    def heal(self) -> None:
+        if self.partitioned:
+            self.partitioned = False
+            self._heal_signal.pulse()
+
+    def wait_heal(self):
+        return self._heal_signal.wait()
 
 
 class ReceiverEndpoint:
@@ -49,6 +86,8 @@ class NetworkLink:
         #: Total payload + determinant bytes carried, for overhead metrics.
         self.bytes_carried = 0
         self.buffers_carried = 0
+        #: Installed by the chaos engine; None on healthy links (zero cost).
+        self.chaos: Optional[LinkChaos] = None
         self._pump_proc = env.process(self._pump(), name=f"link-pump:{name}")
 
     @property
@@ -85,16 +124,57 @@ class NetworkLink:
     def in_transit(self) -> int:
         return len(self._wire)
 
+    def purge(self) -> int:
+        """Chaos repair: drop everything currently on the wire — queued
+        buffers, the one mid-transmission (via the generation bump), and
+        blocked puts (admitted, then dropped).  After a loss the in-flight
+        log regenerates all of it; delivering any of it would break FIFO.
+        Returns the number of buffers purged."""
+        self._generation += 1
+        count = 0
+        while True:
+            dropped = self._wire.clear()
+            if not dropped:
+                break
+            for buffer in dropped:
+                self._drop(buffer)
+                count += 1
+        return count
+
     def _pump(self):
         while True:
             buffer = yield self._wire.get()
             generation = self._generation
-            yield self.env.timeout(self.cost.transmission_time(buffer.total_bytes))
+            transmission = self.cost.transmission_time(buffer.total_bytes)
+            chaos = self.chaos
+            if chaos is not None and chaos.delay_factor != 1.0:
+                transmission *= chaos.delay_factor
+            yield self.env.timeout(transmission)
             self.bytes_carried += buffer.total_bytes
             self.buffers_carried += 1
+            chaos = self.chaos
+            while chaos is not None and chaos.partitioned:
+                # Partition: hold delivery (FIFO preserved); the bounded
+                # in-transit window backpressures the sender meanwhile.
+                yield chaos.wait_heal()
+                chaos = self.chaos
             receiver = self._receiver
             if receiver is None or generation != self._generation:
                 self._drop(buffer)
+                continue
+            if chaos is not None and (chaos.broken or chaos.drop_next > 0):
+                # Injected loss.  After the first dropped buffer the link is
+                # *broken* — delivering any successor would break FIFO — so
+                # everything drains to the floor until the sender-side
+                # repair (in-flight log retransmission) clears ``broken``.
+                first = not chaos.broken
+                if chaos.drop_next > 0:
+                    chaos.drop_next -= 1
+                chaos.broken = True
+                chaos.dropped += 1
+                self._drop(buffer)
+                if first and chaos.on_loss is not None:
+                    chaos.on_loss(self)
                 continue
             try:
                 yield receiver.deliver(buffer)

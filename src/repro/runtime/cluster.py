@@ -8,7 +8,7 @@ mirrors, trading resource use for failure safety.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import JobError
 
@@ -20,6 +20,9 @@ class ClusterNode:
         self.node_id = node_id
         self.slots = slots
         self.occupants: Set[str] = set()
+        #: False once the node has crashed (chaos ``node_crash`` with
+        #: ``fail_node=True``): no further placements land here.
+        self.alive = True
 
     @property
     def free_slots(self) -> int:
@@ -39,16 +42,35 @@ class Cluster:
             ClusterNode(i, slots_per_node) for i in range(num_nodes)
         ]
         self._placement: Dict[str, int] = {}
+        #: Placements that had to ignore ``avoid_nodes`` because the cluster
+        #: was too full to honour anti-affinity.  Silent before; now every
+        #: compromise is counted and logged as (occupant, node_id).
+        self.affinity_violations = 0
+        self.affinity_violation_log: List[Tuple[str, int]] = []
 
     def allocate(self, occupant: str, avoid_nodes: Optional[Set[int]] = None) -> int:
         """Place ``occupant`` on the least-loaded allowed node; returns the
         node id.  Falls back to ignoring ``avoid_nodes`` when the cluster is
         too full to honour anti-affinity (a warning-level compromise the
-        paper's Section 6.3 trade-off discussion allows)."""
+        paper's Section 6.3 trade-off discussion allows) — recording the
+        violation in :attr:`affinity_violations`.  Re-allocating an occupant
+        that already holds a slot releases the old slot first (a retried
+        recovery attempt must not leak placements)."""
+        if occupant in self._placement:
+            self.release(occupant)
         avoid = avoid_nodes or set()
-        candidates = [n for n in self.nodes if n.free_slots > 0 and n.node_id not in avoid]
+        candidates = [
+            n for n in self.nodes
+            if n.alive and n.free_slots > 0 and n.node_id not in avoid
+        ]
         if not candidates:
-            candidates = [n for n in self.nodes if n.free_slots > 0]
+            candidates = [n for n in self.nodes if n.alive and n.free_slots > 0]
+            if candidates and avoid:
+                self.affinity_violations += 1
+                self.affinity_violation_log.append(
+                    (occupant, max(candidates,
+                                   key=lambda n: (n.free_slots, -n.node_id)).node_id)
+                )
         if not candidates:
             raise JobError("cluster out of slots")
         node = max(candidates, key=lambda n: (n.free_slots, -n.node_id))
@@ -60,6 +82,16 @@ class Cluster:
         node_id = self._placement.pop(occupant, None)
         if node_id is not None:
             self.nodes[node_id].occupants.discard(occupant)
+
+    def fail_node(self, node_id: int) -> Set[str]:
+        """Mark a node dead: its occupants lose their slots and future
+        placements avoid it.  Returns the displaced occupants."""
+        node = self.nodes[node_id]
+        node.alive = False
+        displaced = set(node.occupants)
+        for occupant in displaced:
+            self.release(occupant)
+        return displaced
 
     def node_of(self, occupant: str) -> Optional[int]:
         return self._placement.get(occupant)

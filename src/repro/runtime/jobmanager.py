@@ -9,7 +9,8 @@ coordinator from :mod:`repro.ft.coordinators`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.invariants import SANITIZER
 from repro.config import FaultToleranceMode, JobConfig
@@ -17,7 +18,7 @@ from repro.core.causal_log import CausalLogManager
 from repro.core.inflight_log import InFlightLog
 from repro.core.services import CausalServices, NaiveServices
 from repro.core.standby import StandbyState
-from repro.errors import JobError
+from repro.errors import ExternalSystemError, FailureInjectionError, JobError
 from repro.external.dfs import DistributedFileSystem
 from repro.external.http import ExternalService
 from repro.graph.logical import FORWARD, JobGraph, LogicalEdge, LogicalNode
@@ -110,10 +111,12 @@ class JobManager:
         self.checkpoint_counter = 0
         self.completed_checkpoint = 0
         self._pending_checkpoint: Optional[int] = None
+        self._pending_since: Optional[float] = None
         self._pending_acks: Set[str] = set()
         self._aborted_checkpoints: Set[int] = set()
         self._snapshots_of_pending: Dict[str, TaskSnapshot] = {}
         self.checkpoints_completed: List[Tuple[int, float]] = []
+        self.checkpoints_aborted = 0
 
         # Failure / recovery state.
         self.dead_tasks: Set[str] = set()
@@ -121,6 +124,17 @@ class JobManager:
         self.coordinator = None  # set in deploy()
         self.failures_injected: List[Tuple[float, str]] = []
         self.recovery_events: List[Tuple[float, str, str]] = []
+        #: Live recovery processes per vertex (supervisor + current step),
+        #: so a repeat failure or a global restart can supersede them.
+        self.recovery_procs: Dict[str, List[Any]] = {}
+        #: Installed by the chaos engine; ControlQueues consult it per
+        #: delivery.  None = healthy control plane.
+        self.control_chaos = None
+        #: Control-plane drop ledger: (owner, kind, reason) -> count,
+        #: aggregated here from every ControlQueue for chaos loss accounting.
+        self.control_plane_drops: Counter = Counter()
+        #: Status-transition subscriptions: task name -> [(predicate, action)].
+        self._status_waiters: Dict[str, List[Tuple[Callable, Callable]]] = {}
 
         self._finished_tasks: Set[str] = set()
         self.done_signal = Signal(env)
@@ -303,6 +317,7 @@ class JobManager:
                 vertex.name,
                 root_seed=self.config.seed,
                 timestamp_granularity=self.config.clonos.timestamp_granularity,
+                external_retry=self.config.clonos.external_retry,
             )
             services.availability_mode = not self.config.clonos.fallback_to_global
         else:
@@ -378,13 +393,24 @@ class JobManager:
         while True:
             yield self.env.timeout(self.config.checkpoint_interval)
             if self._pending_checkpoint is not None:
-                continue  # no concurrent checkpoints (Section 6.4)
+                # No concurrent checkpoints (Section 6.4) — but a checkpoint
+                # stuck past its timeout (lost barrier RPC, DFS outage) is
+                # aborted so the job does not stop checkpointing forever.
+                pending_for = self.env.now - (self._pending_since or self.env.now)
+                if pending_for >= self.config.effective_checkpoint_timeout:
+                    cid = self._pending_checkpoint
+                    self.abort_pending_checkpoint()
+                    self.recovery_events.append(
+                        (self.env.now, "checkpoint-aborted:timeout", str(cid))
+                    )
+                continue
             if self.dead_tasks or self.recovering_tasks:
                 continue  # pause during recovery
             if self._job_finished():
                 return
             self.checkpoint_counter += 1
             self._pending_checkpoint = self.checkpoint_counter
+            self._pending_since = self.env.now
             self._pending_acks = set()
             self._snapshots_of_pending = {}
             for vertex in self.vertices.values():
@@ -403,7 +429,23 @@ class JobManager:
 
     def _upload_snapshot(self, task: StreamTask, snapshot: TaskSnapshot):
         delta = task.backend.incremental_delta_bytes()
-        yield from self.snapshot_store.save(snapshot, delta_bytes=delta)
+        policy = self.config.clonos.dfs_retry
+        rng = self.streams.stream(f"upload-retry:{task.name}")
+        attempt = 0
+        while True:
+            try:
+                yield from self.snapshot_store.save(snapshot, delta_bytes=delta)
+                break
+            except ExternalSystemError:
+                if attempt >= policy.max_attempts - 1:
+                    # Give up: the pending checkpoint aborts via its timeout;
+                    # the job keeps running on the previous completed one.
+                    self.recovery_events.append(
+                        (self.env.now, "checkpoint-upload-failed", task.name)
+                    )
+                    return
+                yield self.env.timeout(policy.delay(attempt, rng))
+                attempt += 1
         self._ack_checkpoint(task.name, snapshot)
 
     def _ack_checkpoint(self, task_name: str, snapshot: TaskSnapshot) -> None:
@@ -417,6 +459,7 @@ class JobManager:
 
     def _complete_checkpoint(self, checkpoint_id: int) -> None:
         self._pending_checkpoint = None
+        self._pending_since = None
         self.completed_checkpoint = checkpoint_id
         self.checkpoints_completed.append((checkpoint_id, self.env.now))
         snapshots = dict(self._snapshots_of_pending)
@@ -428,7 +471,11 @@ class JobManager:
                 TaskStatus.RECOVERING,
             ):
                 vertex.task.control.send("checkpoint_complete", checkpoint_id)
-            # State-snapshot dispatch to standbys (Section 6.4).
+            # State-snapshot dispatch to standbys (Section 6.4).  A standby
+            # lost to a node crash self-heals here: re-provision before
+            # dispatching so HA is restored with the freshest state.
+            if vertex.standby is not None and vertex.standby.failed:
+                self.reprovision_standby(vertex)
             if vertex.standby is not None and vertex.name in snapshots:
                 self.env.process(
                     vertex.standby.dispatch(snapshots[vertex.name]),
@@ -439,7 +486,9 @@ class JobManager:
         if self._pending_checkpoint is not None:
             self._aborted_checkpoints.add(self._pending_checkpoint)
             self._pending_checkpoint = None
+            self._pending_since = None
             self._snapshots_of_pending = {}
+            self.checkpoints_aborted += 1
 
     # -- failure handling -------------------------------------------------------------------
 
@@ -450,24 +499,35 @@ class JobManager:
             return self.cost.heartbeat_timeout
         return self.cost.connection_failure_detection
 
-    def kill_task(self, task_name: str, _attempts: int = 0) -> None:
+    def _killable_statuses(self, force: bool) -> Tuple[TaskStatus, ...]:
+        return (
+            (TaskStatus.RUNNING, TaskStatus.RECOVERING)
+            if force
+            else (TaskStatus.RUNNING,)
+        )
+
+    def kill_task(self, task_name: str, force: bool = False) -> None:
         """Failure injection entry point.
 
         If the victim is not currently running (e.g. the previous failure's
         global restart is still redeploying it), the injection is deferred
-        until it is — the experiment's "three sequential failures" really
-        means three failures of live tasks.
+        until its status transitions to a killable one — the experiment's
+        "three sequential failures" really means three failures of live
+        tasks.  The deferral is subscription-based (no polling) and bounded
+        by ``cost.kill_deferral_deadline``; a victim that never becomes
+        killable raises :class:`~repro.errors.FailureInjectionError` naming
+        its actual status.
+
+        ``force=True`` (chaos) also kills tasks mid-recovery — the
+        failure-during-ongoing-recovery scenario.
         """
         vertex = self.vertices[task_name]
-        if vertex.task is None or vertex.task.status is not TaskStatus.RUNNING:
-            if task_name in self._finished_tasks or _attempts > 600:
-                raise JobError(f"cannot kill {task_name}: not running")
-            self.env.schedule_callback(
-                0.5, lambda: self.kill_task(task_name, _attempts + 1)
-            )
+        task = vertex.task
+        if task is None or task.status not in self._killable_statuses(force):
+            self._defer_kill(vertex, force)
             return
         self.failures_injected.append((self.env.now, task_name))
-        vertex.task.fail()
+        task.fail()
         self.dead_tasks.add(task_name)
         self.cluster.release(task_name)
         # Connection reset: surviving upstreams observe the broken channel
@@ -486,13 +546,232 @@ class JobManager:
             self.detection_delay(), lambda name=task_name: self._on_detected(name)
         )
 
-    def kill_node(self, node_id: int) -> None:
-        """Kill every running task placed on a cluster node."""
-        for occupant in sorted(self.cluster.occupants_of_node(node_id)):
+    def _defer_kill(self, vertex: VertexRuntime, force: bool) -> None:
+        name = vertex.name
+        current = vertex.task.status if vertex.task is not None else None
+        if name in self._finished_tasks or current is TaskStatus.FINISHED:
+            raise FailureInjectionError(name, current)
+        state = {"done": False}
+        killable = self._killable_statuses(force)
+
+        def pred(task: StreamTask) -> bool:
+            return not state["done"] and task.status in killable
+
+        def action(task: StreamTask) -> None:
+            state["done"] = True
+            # Defer one tick: killing synchronously from inside the status
+            # notification would tear the task down mid-``start()``.
+            self.env.schedule_callback(0.0, lambda: self.kill_task(name, force))
+
+        self._add_status_waiter(name, pred, action)
+        deadline = self.cost.kill_deferral_deadline
+
+        def give_up() -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            task = vertex.task
+            raise FailureInjectionError(
+                name,
+                task.status if task is not None else None,
+                waited=deadline,
+            )
+
+        self.env.schedule_callback(deadline, give_up)
+
+    def _add_status_waiter(
+        self,
+        task_name: str,
+        pred: Callable[[StreamTask], bool],
+        action: Callable[[StreamTask], None],
+    ) -> None:
+        self._status_waiters.setdefault(task_name, []).append((pred, action))
+
+    def task_status_changed(self, task: StreamTask) -> None:
+        """Called by every :class:`StreamTask` status transition; fires (and
+        removes) any subscription whose predicate now holds."""
+        waiters = self._status_waiters.get(task.name)
+        if not waiters:
+            return
+        remaining = []
+        for pred, action in waiters:
+            if pred(task):
+                action(task)
+            else:
+                remaining.append((pred, action))
+        if remaining:
+            self._status_waiters[task.name] = remaining
+        else:
+            self._status_waiters.pop(task.name, None)
+
+    def kill_node(self, node_id: int, force: bool = False, fail_node: bool = False) -> None:
+        """Kill every running task placed on a cluster node, and fail any
+        standby replicas hosted there (their snapshots die with the node).
+
+        ``fail_node=True`` additionally marks the node dead in the cluster,
+        so replacements must be placed elsewhere.
+        """
+        occupants = sorted(self.cluster.occupants_of_node(node_id))
+        if fail_node:
+            self.cluster.fail_node(node_id)
+        killable = self._killable_statuses(force)
+        for occupant in occupants:
+            if occupant.startswith("standby:"):
+                name = occupant[len("standby:"):]
+                vertex = self.vertices.get(name)
+                if vertex is not None and vertex.standby is not None:
+                    vertex.standby.fail()
+                    self.recovery_events.append(
+                        (self.env.now, "standby-lost", name)
+                    )
+                if not fail_node:
+                    self.cluster.release(occupant)
+                continue
             if occupant in self.vertices:
                 vertex = self.vertices[occupant]
-                if vertex.task is not None and vertex.task.status is TaskStatus.RUNNING:
-                    self.kill_task(occupant)
+                if vertex.task is not None and vertex.task.status in killable:
+                    self.kill_task(occupant, force=force)
+
+    def allocate_task_slot(self, vertex: VertexRuntime) -> int:
+        """Allocate a slot for a (re)starting task, evicting a standby under
+        slot pressure.
+
+        After a node failure the cluster may no longer fit every task plus
+        every standby.  Running tasks outrank HA spares: when allocation
+        fails, sacrifice a standby (preferring the restarting vertex's own —
+        its state is superseded by the restart anyway), record the eviction,
+        and retry.  Only when no standby is left to evict does the slot
+        exhaustion propagate."""
+        while True:
+            try:
+                return self.cluster.allocate(vertex.name)
+            except JobError:
+                if not self._evict_one_standby(prefer=vertex.name):
+                    raise
+
+    def _evict_one_standby(self, prefer: Optional[str] = None) -> bool:
+        candidates = sorted(
+            name
+            for name, vx in self.vertices.items()
+            if vx.standby is not None
+            and not vx.standby.failed
+            and self.cluster.node_of(f"standby:{name}") is not None
+        )
+        if not candidates:
+            return False
+        victim = prefer if prefer in candidates else candidates[0]
+        self.cluster.release(f"standby:{victim}")
+        self.vertices[victim].standby.fail()
+        self.recovery_events.append((self.env.now, "standby-evicted", victim))
+        return True
+
+    def reprovision_standby(self, vertex: VertexRuntime) -> Optional[StandbyState]:
+        """Escalation-ladder HA repair: replace a failed standby with a fresh
+        one (anti-affine placement), hydrated in the background from the
+        latest completed DFS checkpoint.  Deferred (not fatal) when the
+        cluster has no free slot — a task outranks its spare."""
+        if not self._uses_standbys():
+            return None
+        avoid = (
+            {vertex.node_id}
+            if self.config.clonos.standby_anti_affinity and vertex.node_id is not None
+            else set()
+        )
+        try:
+            node = self.cluster.allocate(f"standby:{vertex.name}", avoid)
+        except JobError:
+            self.recovery_events.append(
+                (self.env.now, "standby-reprovision-deferred", vertex.name)
+            )
+            return None
+        standby = StandbyState(self.env, self.cost, vertex.name, node)
+        vertex.standby = standby
+        self.recovery_events.append(
+            (self.env.now, "standby-reprovisioned", vertex.name)
+        )
+        cid = self.completed_checkpoint
+        if cid > 0 and self.snapshot_store.get(vertex.name, cid) is not None:
+            self.env.process(
+                self._hydrate_standby(vertex, standby, cid),
+                name=f"standby-hydrate:{vertex.name}",
+            )
+        return standby
+
+    def _hydrate_standby(self, vertex: VertexRuntime, standby: StandbyState, cid: int):
+        try:
+            snapshot = yield from self.snapshot_store.load(vertex.name, cid)
+        except ExternalSystemError:
+            return  # the next completed checkpoint's dispatch will hydrate it
+        if vertex.standby is standby and not standby.failed:
+            yield from standby.dispatch(snapshot)
+
+    def note_control_drop(self, owner: str, kind: str, reason: str) -> None:
+        """Per-queue drop accounting rollup (chaos loss ledger)."""
+        self.control_plane_drops[(owner, kind, reason)] += 1
+
+    def cancel_recovery_procs(self) -> None:
+        """Kill every in-flight recovery process (global restart supersedes
+        all per-task recoveries)."""
+        for name, procs in self.recovery_procs.items():
+            for proc in procs:
+                if proc.is_alive:
+                    proc.kill()
+            procs.clear()
+
+    def repair_channel(self, up_name: str, flat_idx: int, down_name: str) -> None:
+        """Sender-driven repair of a link that lost buffers (chaos
+        ``link_loss``): purge everything on the wire, clear the broken flag,
+        and have the upstream's in-flight log retransmit from the receiver's
+        delivered sequence number — FIFO restored without killing a task."""
+        up_vertex = self.vertices[up_name]
+        link = None
+        for _edge, channels in up_vertex.out_links:
+            for f_idx, d_name, lnk in channels:
+                if f_idx == flat_idx and d_name == down_name:
+                    link = lnk
+        if link is None:
+            return
+        up_task = up_vertex.task
+        down_task = self.vertices[down_name].task
+        if (
+            up_task is None
+            or up_task.status is TaskStatus.FAILED
+            or down_task is None
+            or down_task.status is TaskStatus.FAILED
+        ):
+            # An endpoint is dead: its own recovery rebuilds this channel
+            # (and performs the dedup handshake); just clear the breakage.
+            if link.chaos is not None:
+                link.chaos.broken = False
+            return
+        channel = up_task.output_channel_by_flat_index(flat_idx)
+        channel.replaying = True  # park fresh output until the replay runs
+        link.purge()
+        if link.chaos is not None:
+            link.chaos.broken = False
+        self.recovery_events.append((self.env.now, "link-repair", link.name))
+        receiver = link.receiver
+        delivered = receiver.delivered_seq if receiver is not None else -1
+
+        def note_retry(n: int, up: str = up_name) -> None:
+            self.recovery_events.append(
+                (self.env.now, f"rpc-retry:replay_request:{n}", up)
+            )
+
+        up_task.control.send(
+            "replay_request",
+            {
+                "flat_channel": flat_idx,
+                "from_epoch": self.completed_checkpoint,
+                "delivered_seq": delivered,
+                "requester": down_name,
+                "live_seq": True,
+            },
+            sender="chaos-repair",
+            reliable=self.config.reliable_control_plane,
+            retry=self.config.rpc_retry,
+            on_retry=note_retry,
+        )
 
     def _on_detected(self, task_name: str) -> None:
         if task_name not in self.dead_tasks:
@@ -545,6 +824,94 @@ class JobManager:
     def task_of(self, task_name: str) -> StreamTask:
         return self.vertices[task_name].task
 
+    def start_failure_detector(self, threshold: Optional[int] = None):
+        """Opt-in heartbeat failure detector (see
+        :class:`SuspicionFailureDetector`); returns the detector."""
+        detector = SuspicionFailureDetector(self, threshold=threshold)
+        detector.start()
+        return detector
+
     @property
     def adjacency(self) -> Dict[str, List[str]]:
         return self._adjacency
+
+
+class SuspicionFailureDetector:
+    """Heartbeat-based failure detection with false-positive suppression.
+
+    Every task heartbeats the job manager each ``cost.heartbeat_interval``;
+    heartbeats ride the control plane, so chaos-injected RPC loss makes a
+    perfectly healthy task *look* dead.  A naive detector (threshold 1)
+    fails over on a single missed beat — a spurious recovery costing a full
+    local-recovery cycle.  The hardened detector only declares failure after
+    ``cost.suspicion_threshold`` *consecutive* missed heartbeats: isolated
+    drops raise suspicion (recorded in ``recovery_events``) without
+    triggering recovery.
+    """
+
+    def __init__(self, jm: JobManager, threshold: Optional[int] = None):
+        self.jm = jm
+        self.env = jm.env
+        self.cost = jm.config.cost
+        self.threshold = (
+            threshold if threshold is not None else max(1, self.cost.suspicion_threshold)
+        )
+        self.last_beat: Dict[str, float] = {}
+        self.missed: Dict[str, int] = {}
+        #: (time, task, consecutive misses) for every suspicion raised.
+        self.suspicions: List[Tuple[float, str, int]] = []
+        #: (time, task) for every declared (spurious) failure.
+        self.declared_failed: List[Tuple[float, str]] = []
+        self.heartbeats_lost = 0
+
+    def start(self) -> None:
+        for name in self.jm.vertices:
+            self.last_beat[name] = self.env.now
+            self.missed[name] = 0
+            self._schedule_beat(name)
+        self.env.process(self._monitor(), name="failure-detector")
+
+    def _alive(self, name: str) -> bool:
+        task = self.jm.vertices[name].task
+        return task is not None and task.status in (
+            TaskStatus.RUNNING,
+            TaskStatus.RECOVERING,
+        )
+
+    def _schedule_beat(self, name: str) -> None:
+        def beat() -> None:
+            if self._alive(name):
+                chaos = self.jm.control_chaos
+                if chaos is not None and chaos.should_drop(self.env.now, name):
+                    self.heartbeats_lost += 1
+                    self.jm.note_control_drop(name, "heartbeat", "chaos-lost")
+                else:
+                    self.last_beat[name] = self.env.now
+            self.env.schedule_callback(self.cost.heartbeat_interval, beat)
+
+        self.env.schedule_callback(self.cost.heartbeat_interval, beat)
+
+    def _monitor(self):
+        interval = self.cost.heartbeat_interval
+        while True:
+            yield self.env.timeout(interval)
+            now = self.env.now
+            for name in self.jm.vertices:
+                if not self._alive(name):
+                    self.missed[name] = 0
+                    continue
+                if now - self.last_beat[name] > 1.5 * interval:
+                    self.missed[name] += 1
+                    self.suspicions.append((now, name, self.missed[name]))
+                    self.jm.recovery_events.append(
+                        (now, f"suspected:{self.missed[name]}", name)
+                    )
+                    if self.missed[name] >= self.threshold:
+                        self.missed[name] = 0
+                        self.declared_failed.append((now, name))
+                        self.jm.recovery_events.append(
+                            (now, "spurious-failover", name)
+                        )
+                        self.jm.kill_task(name, force=True)
+                else:
+                    self.missed[name] = 0

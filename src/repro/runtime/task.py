@@ -122,7 +122,7 @@ class StreamTask:
 
         self.backend = HashMapStateBackend()
         self.timers = TimerService(env)
-        self.control = ControlQueue(env, self.cost, name)
+        self.control = ControlQueue(env, self.cost, name, jm=jobmanager)
         self.recovery = RecoveryManager(name)
         self.causal: Optional[CausalLogManager] = None
         self.inflight: Optional[InFlightLog] = None
@@ -146,6 +146,9 @@ class StreamTask:
         self._main_proc = None
         self._flusher_proc = None
         self._service_procs: list = []
+        #: Live replay server per output channel; a newer replay_request for
+        #: the same channel supersedes (kills) the older server.
+        self._active_replays: Dict[int, Any] = {}
         self.ctx: Optional[Context] = None
         self.node_id: Optional[int] = None
 
@@ -215,6 +218,14 @@ class StreamTask:
                 return channel
         raise RecoveryError(f"{self.name}: no output channel {flat_index}")
 
+    def _set_status(self, status: "TaskStatus") -> None:
+        """All status transitions go through here so the job manager can run
+        status-subscription callbacks (deferred failure injections etc.)."""
+        self.status = status
+        notify = getattr(self.jm, "task_status_changed", None)
+        if notify is not None:
+            notify(self)
+
     # -- lifecycle ----------------------------------------------------------------------
 
     def start(
@@ -235,10 +246,11 @@ class StreamTask:
         if recovery_bundle is not None:
             self.recovery.load(recovery_bundle, replay_from_epoch)
             self._prepare_replay()
-            self.status = TaskStatus.RECOVERING
+            if self.status is not TaskStatus.RUNNING:
+                self._set_status(TaskStatus.RECOVERING)
         else:
             self.timers.arm_parked()
-            self.status = TaskStatus.RUNNING
+            self._set_status(TaskStatus.RUNNING)
         self._last_wm_check = self.env.now
         loop = self._source_loop() if self.is_source else self._data_loop()
         self._main_proc = self.env.process(loop, name=f"task:{self.name}")
@@ -256,6 +268,13 @@ class StreamTask:
             self.ctx.current_watermark = self._wm_tracker.current
         for edge, state in zip(self.out_edges, snapshot.network_state["edges"]):
             edge.writer.restore_state(state)
+        # The writer state was imaged before the barrier broadcast bumped the
+        # channel epochs, so the stored epoch is the one the checkpoint
+        # closes.  A restored task resumes in the epoch the checkpoint opens:
+        # stamp regenerated buffers accordingly, or a downstream replay
+        # request with from_epoch=checkpoint_id would skip them.
+        for channel in self.all_output_channels:
+            channel.epoch = snapshot.checkpoint_id
         self.epoch = snapshot.checkpoint_id
         self.offset_in_epoch = 0
         if self.causal is not None:
@@ -276,7 +295,7 @@ class StreamTask:
 
     def fail(self) -> None:
         """Failure injection: the task process dies instantly and silently."""
-        self.status = TaskStatus.FAILED
+        self._set_status(TaskStatus.FAILED)
         for proc in (self._main_proc, self._flusher_proc, *self._service_procs):
             if proc is not None and proc.is_alive:
                 proc.kill()
@@ -610,12 +629,31 @@ class StreamTask:
         self.operator.on_checkpoint_complete(checkpoint_id, self.ctx)
 
     def _on_replay_request(
-        self, flat_channel: int, from_epoch: int, delivered_seq: int, requester: str
+        self,
+        flat_channel: int,
+        from_epoch: int,
+        delivered_seq: int,
+        requester: str,
+        live_seq: bool = False,
     ) -> None:
         """An in-flight log replay request from a recovering downstream
-        (step 4 of the protocol); serving it is step 5."""
+        (step 4 of the protocol); serving it is step 5.
+
+        ``live_seq`` (link repair): re-read the receiver's delivered sequence
+        number at serve time, excluding anything that trickled in between the
+        repair decision and this request's arrival.
+        """
         channel = self.output_channel_by_flat_index(flat_channel)
-        channel.suppress_until_seq = max(channel.suppress_until_seq, delivered_seq)
+        if live_seq and channel.link.receiver is not None:
+            delivered_seq = max(delivered_seq, channel.link.receiver.delivered_seq)
+            channel.suppress_until_seq = max(channel.suppress_until_seq, delivered_seq)
+        else:
+            # A recovering receiver's delivered_seq is authoritative, not a
+            # floor: it rolls back to its restored checkpoint, which may be
+            # BELOW the previous incarnation's high-water mark — and the
+            # buffers between the two must be re-sent, not deduplicated
+            # against a dead incarnation's progress.
+            channel.suppress_until_seq = delivered_seq
         if self.causal is not None:
             # Re-send the full log on the next buffers: the reconnected
             # receiver may have lost its causal store (idempotent merge makes
@@ -625,6 +663,12 @@ class StreamTask:
             raise RecoveryError(
                 f"{self.name}: replay requested but no in-flight log configured"
             )
+        # A retried/duplicated request for the same channel supersedes the
+        # server already running: the newest delivered_seq wins (the older
+        # replay would re-deliver sequences the newer request excludes).
+        stale = self._active_replays.get(flat_channel)
+        if stale is not None and stale.is_alive:
+            stale.kill()
         # If this task is itself recovering (lineage, Section 5.1), the same
         # mechanism works: regenerated buffers are parked unsent while
         # ``replaying`` and the rescan loop streams them out in order.
@@ -632,6 +676,7 @@ class StreamTask:
             self._serve_replay(channel, from_epoch, delivered_seq),
             name=f"replay:{self.name}->ch{flat_channel}",
         )
+        self._active_replays[flat_channel] = proc
         self._service_procs.append(proc)
 
     def _serve_replay(self, channel: OutputChannel, from_epoch: int, delivered_seq: int):
@@ -763,7 +808,7 @@ class StreamTask:
         # to the last delivered buffer), so they drain naturally.
         self.timers.arm_parked()
         self._last_wm_check = self.env.now
-        self.status = TaskStatus.RUNNING
+        self._set_status(TaskStatus.RUNNING)
         self.jm.task_recovered(self)
 
     # -- termination --------------------------------------------------------------------------------
@@ -775,7 +820,7 @@ class StreamTask:
             yield from edge.writer.broadcast(EndOfStream())
             yield from edge.writer.flush_all("eos")
         yield from self._pay()
-        self.status = TaskStatus.FINISHED
+        self._set_status(TaskStatus.FINISHED)
         self.jm.task_finished(self)
         # A finished task's in-flight/causal logs keep serving recoveries of
         # downstream tasks (the durable-source assumption of Section 5.1):

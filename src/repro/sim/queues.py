@@ -104,12 +104,19 @@ class Store(Generic[T]):
         return items
 
     def cancel_waiters(self, exc: Exception) -> None:
-        """Fail every pending get/put (used on channel teardown)."""
+        """Fail every pending get/put (used on channel teardown).
+
+        Waits whose process has since been killed have no callbacks left;
+        failing those would surface the exception to nobody (the kernel
+        raises unwaited failures), so they are discarded instead."""
         while self._getters:
-            self._getters.popleft().fail(exc)
+            ev = self._getters.popleft()
+            if ev.callbacks:
+                ev.fail(exc)
         while self._putters:
             ev, _item = self._putters.popleft()
-            ev.fail(exc)
+            if ev.callbacks:
+                ev.fail(exc)
 
     def _admit_putter(self) -> None:
         if self._putters and len(self.items) < self.capacity:

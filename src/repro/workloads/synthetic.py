@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.output import ExactlyOnceKafkaSink
 from repro.external.kafka import DurableLog
 from repro.graph.elements import StreamRecord
 from repro.graph.logical import JobGraph, JobGraphBuilder
@@ -69,9 +70,14 @@ def synthetic_chain(
     nondeterministic: bool = False,
     in_topic: str = "synthetic-in",
     out_topic: str = "synthetic-out",
+    exactly_once_sink: bool = False,
 ) -> JobGraph:
     """Build the chain source -> stage1 -> ... -> stage<depth-1> -> sink,
-    keyed (shuffled) between consecutive stages."""
+    keyed (shuffled) between consecutive stages.
+
+    ``exactly_once_sink`` swaps the plain :class:`KafkaSink` for the
+    Section 5.5 determinant-piggyback sink, so replaying the sink task
+    itself does not duplicate output (requires causal recovery)."""
     if (in_topic, 0) not in log._partitions:
         log.create_generated_topic(
             in_topic,
@@ -93,7 +99,12 @@ def synthetic_chain(
                 s, num_keys, state_bytes_per_task, nondeterministic
             ),
         )
-    stream.key_by(lambda v: v[1] % parallelism).sink(
-        "sink", lambda: KafkaSink(log, out_topic)
-    )
+    if exactly_once_sink:
+        stream.key_by(lambda v: v[1] % parallelism).sink(
+            "sink", lambda: ExactlyOnceKafkaSink(log, out_topic)
+        )
+    else:
+        stream.key_by(lambda v: v[1] % parallelism).sink(
+            "sink", lambda: KafkaSink(log, out_topic)
+        )
     return builder.build()

@@ -1,0 +1,56 @@
+"""Shared builders for chaos tests."""
+
+from repro.config import FaultToleranceMode
+from repro.external.kafka import DurableLog
+from repro.runtime.jobmanager import JobManager
+from repro.sim.core import Environment
+from repro.workloads.synthetic import synthetic_chain
+
+from tests.runtime.helpers import make_config
+
+
+def deploy_chaos_chain(
+    mode=FaultToleranceMode.CLONOS,
+    depth=3,
+    parallelism=2,
+    n_records=1200,
+    rate=2000.0,
+    config=None,
+):
+    """The soak workload: nondeterministic chain + exactly-once sink."""
+    config = config or make_config(mode)
+    env = Environment()
+    log = DurableLog()
+    graph = synthetic_chain(
+        log,
+        depth=depth,
+        parallelism=parallelism,
+        rate_per_partition=rate,
+        total_per_partition=n_records,
+        state_bytes_per_task=8192,
+        num_keys=16,
+        nondeterministic=True,
+        in_topic="chaos-in",
+        out_topic="out",
+        exactly_once_sink=True,
+    )
+    jm = JobManager(env, graph, config, external=None)
+    jm.deploy()
+    return env, log, jm
+
+
+def origin_counts(log, topic="out"):
+    from collections import Counter
+
+    return Counter((e.value[0], e.value[1]) for e in log.read_all(topic))
+
+
+def assert_exactly_once(log, parallelism, n_records, topic="out"):
+    counts = origin_counts(log, topic)
+    expected = {(p, o) for p in range(parallelism) for o in range(n_records)}
+    missing = [pair for pair in expected if counts[pair] == 0]
+    dup = {pair: c for pair, c in counts.items() if c > 1}
+    extra = [pair for pair in counts if pair not in expected]
+    assert not missing, f"lost {len(missing)} records, e.g. {missing[:5]}"
+    assert not dup, f"duplicated {len(dup)} records, e.g. {list(dup.items())[:5]}"
+    assert not extra, f"unexpected records: {extra[:5]}"

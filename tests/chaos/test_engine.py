@@ -1,0 +1,117 @@
+"""ChaosEngine: fault application, targeting, and mode guards."""
+
+import pytest
+
+from repro.chaos import ChaosEngine, FaultPlan
+from repro.config import FaultToleranceMode
+from repro.errors import ChaosError
+
+from tests.chaos.helpers import assert_exactly_once, deploy_chaos_chain
+
+
+def test_task_kill_applies_and_job_recovers_exactly_once():
+    env, log, jm = deploy_chaos_chain()
+    plan = FaultPlan(seed=1).add(0.25, "task_kill", target="stage1[0]")
+    engine = ChaosEngine(jm, plan)
+    engine.arm()
+    jm.run_until_done(limit=600)
+    assert engine.applied == [(0.25, "task_kill", "stage1[0]")]
+    assert (0.25, "chaos:task_kill", "stage1[0]") in jm.recovery_events
+    assert any(k == "recovered" and who == "stage1[0]"
+               for (_t, k, who) in jm.recovery_events)
+    assert_exactly_once(log, 2, 1200)
+
+
+def test_wildcard_target_picks_deterministically():
+    def victims(seed):
+        env, _log, jm = deploy_chaos_chain()
+        engine = ChaosEngine(jm, FaultPlan(seed=seed).add(0.2, "task_kill",
+                                                          target="stage*"))
+        engine.arm()
+        jm.run_until_done(limit=600)
+        return [t for (_w, _k, t) in engine.applied]
+
+    assert victims(5) == victims(5)
+    assert all(v.startswith("stage") for v in victims(5))
+
+
+def test_unmatched_target_is_skipped_not_fatal():
+    env, log, jm = deploy_chaos_chain()
+    engine = ChaosEngine(jm, FaultPlan().add(0.2, "task_kill",
+                                             target="no-such-task"))
+    engine.arm()
+    jm.run_until_done(limit=600)
+    assert engine.applied == []
+    assert engine.skipped[0][3] == "no matching task"
+    assert_exactly_once(log, 2, 1200)
+
+
+def test_link_loss_requires_inflight_log_mode():
+    env, _log, jm = deploy_chaos_chain(mode=FaultToleranceMode.GLOBAL_ROLLBACK)
+    engine = ChaosEngine(jm, FaultPlan().add(0.2, "link_loss", target="*"))
+    with pytest.raises(ChaosError, match="in-flight-log"):
+        engine.arm()
+
+
+def test_arming_twice_rejected():
+    env, _log, jm = deploy_chaos_chain()
+    engine = ChaosEngine(jm, FaultPlan())
+    engine.arm()
+    with pytest.raises(ChaosError):
+        engine.arm()
+
+
+def test_dfs_outage_injects_and_heals():
+    env, log, jm = deploy_chaos_chain()
+    plan = FaultPlan().add(0.1, "dfs_outage", duration=0.15)
+    ChaosEngine(jm, plan).arm()
+    seen = {}
+    env.schedule_callback(
+        0.2, lambda: seen.setdefault("during", env.now < jm.dfs.outage_until)
+    )
+    env.schedule_callback(
+        0.3, lambda: seen.setdefault("after", env.now < jm.dfs.outage_until)
+    )
+    jm.run_until_done(limit=600)
+    assert seen == {"during": True, "after": False}
+
+
+def test_rpc_chaos_installs_windowed_control_plane():
+    env, _log, jm = deploy_chaos_chain()
+    plan = FaultPlan(seed=9).add(0.1, "rpc_chaos", rate=0.5, dup_rate=0.1,
+                                 duration=0.2)
+    ChaosEngine(jm, plan).arm()
+    probes = {}
+    env.schedule_callback(
+        0.15, lambda: probes.setdefault("installed", jm.control_chaos is not None)
+    )
+    jm.run_until_done(limit=600)
+    assert probes["installed"]
+    chaos = jm.control_chaos
+    assert chaos.drop_rate == 0.5
+    assert not chaos._active(chaos.until + 1.0)  # window closed
+
+
+def test_node_crash_by_task_name_kills_co_residents():
+    env, log, jm = deploy_chaos_chain()
+    node = jm.vertices["stage1[0]"].node_id
+    residents = {
+        name for name in jm.cluster.occupants_of_node(node) if name in jm.vertices
+    }
+    plan = FaultPlan().add(0.25, "node_crash", target="stage1[0]")
+    ChaosEngine(jm, plan).arm()
+    jm.run_until_done(limit=600)
+    killed = {name for (_t, name) in jm.failures_injected}
+    assert killed >= residents
+    assert_exactly_once(log, 2, 1200)
+
+
+def test_summary_reports_applied_and_drops():
+    env, _log, jm = deploy_chaos_chain()
+    plan = FaultPlan().add(0.2, "standby_loss", target="stage1[0]")
+    engine = ChaosEngine(jm, plan)
+    engine.arm()
+    jm.run_until_done(limit=600)
+    summary = engine.summary()
+    assert summary["applied"] == 1
+    assert summary["kinds"] == ["standby_loss"]

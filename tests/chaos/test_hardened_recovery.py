@@ -1,0 +1,192 @@
+"""Hardened recovery supervision: per-step deadlines, the escalation
+ladder, graceful degradation to global rollback, deferred kills, and the
+suspicion-based failure detector."""
+
+import pytest
+
+from repro.config import RetryPolicy
+from repro.errors import FailureInjectionError
+from repro.runtime.task import TaskStatus
+
+from tests.chaos.helpers import (
+    assert_exactly_once,
+    deploy_chaos_chain,
+    origin_counts,
+)
+from tests.runtime.helpers import fast_cost, make_config
+
+
+def events(jm, prefix, who=None):
+    return [
+        (t, kind, subject)
+        for (t, kind, subject) in jm.recovery_events
+        if kind.startswith(prefix) and (who is None or subject == who)
+    ]
+
+
+class TestEscalationLadder:
+    def test_step_timeouts_escalate_to_global_rollback(self):
+        # A step deadline below the deploy time makes every local attempt
+        # time out; the standby is dead so there is no fast path either.
+        # The ladder must exhaust, record the degradation, and hand the job
+        # to the global-rollback fallback — which completes it.
+        config = make_config()
+        config.clonos.recovery_step_deadline = 0.05  # < task_deploy_time 0.2
+        env, log, jm = deploy_chaos_chain(config=config)
+        jm.vertices["stage1[0]"].standby.fail()
+        env.schedule_callback(0.25, lambda: jm.kill_task("stage1[0]"))
+        jm.run_until_done(limit=60.0)
+
+        assert events(jm, "step-timeout:checkpoint-restore", "stage1[0]")
+        retries = events(jm, "recovery-retry:", "stage1[0]")
+        assert len(retries) >= 2, "every ladder rung must be recorded"
+        assert events(jm, "degraded:global_rollback", "stage1[0]")
+        assert events(jm, "global-restart-begin")
+        assert events(jm, "global-restart-done")
+        # Degraded semantics: at-least-once.  Nothing may be lost; the
+        # degradation makes duplicates legal (and the event records it).
+        counts = origin_counts(log)
+        expected = {(p, o) for p in range(2) for o in range(1200)}
+        missing = [pair for pair in expected if counts[pair] == 0]
+        assert not missing, f"degraded run lost {len(missing)} records"
+
+    def test_standby_crash_during_activation_escalates_and_recovers(self):
+        env, log, jm = deploy_chaos_chain()
+        # Let checkpoint 1 complete (t=0.5) so the standby holds a snapshot
+        # and the DFS holds a restorable checkpoint.
+        env.schedule_callback(0.60, lambda: jm.kill_task("stage1[0]"))
+        # Detection fires at 0.62 and the fast-path activation step starts;
+        # the standby dies inside that window.
+        env.schedule_callback(
+            0.63, lambda: jm.vertices["stage1[0]"].standby.fail()
+        )
+        jm.run_until_done(limit=60.0)
+        assert events(jm, "recovery-retry:standby-activation", "stage1[0]")
+        assert events(jm, "recovered", "stage1[0]")
+        assert not events(jm, "degraded:")
+        assert_exactly_once(log, 2, 1200)
+
+    def test_successful_recovery_reprovisions_lost_standby(self):
+        env, log, jm = deploy_chaos_chain()
+        env.schedule_callback(
+            0.58, lambda: jm.vertices["stage1[0]"].standby.fail()
+        )
+        env.schedule_callback(0.60, lambda: jm.kill_task("stage1[0]"))
+        jm.run_until_done(limit=60.0)
+        assert events(jm, "recovered", "stage1[0]")
+        assert events(jm, "standby-reprovisioned", "stage1[0]")
+        standby = jm.vertices["stage1[0]"].standby
+        assert standby is not None and not standby.failed
+        assert_exactly_once(log, 2, 1200)
+
+
+class TestFailureDuringRecovery:
+    def test_refailure_while_recovering_supersedes_and_completes(self):
+        env, log, jm = deploy_chaos_chain()
+        env.schedule_callback(0.25, lambda: jm.kill_task("stage1[0]"))
+        # 50ms later the first recovery is mid-flight (slow-path deploy
+        # takes 0.2s); the second force-kill must supersede it, not race it.
+        env.schedule_callback(
+            0.30, lambda: jm.kill_task("stage1[0]", force=True)
+        )
+        jm.run_until_done(limit=60.0)
+        assert len([1 for (_t, n) in jm.failures_injected
+                    if n == "stage1[0]"]) == 2
+        assert events(jm, "recovered", "stage1[0]")
+        assert_exactly_once(log, 2, 1200)
+
+    def test_unforced_kill_of_dead_task_waits_for_recovery(self):
+        # Without force=True the second kill is not eligible until the task
+        # is RUNNING again: it must wait out the recovery, then strike.
+        env, log, jm = deploy_chaos_chain()
+        env.schedule_callback(0.25, lambda: jm.kill_task("stage1[0]"))
+        env.schedule_callback(0.27, lambda: jm.kill_task("stage1[0]"))
+        jm.run_until_done(limit=60.0)
+        kills = [t for (t, n) in jm.failures_injected if n == "stage1[0]"]
+        assert len(kills) == 2
+        recovered = events(jm, "recovered", "stage1[0]")
+        assert len(recovered) == 2
+        assert kills[1] >= recovered[0][0], (
+            "deferred kill must wait for the first recovery to finish"
+        )
+        assert_exactly_once(log, 2, 1200)
+
+
+class TestKillDeferral:
+    def test_killing_finished_task_raises_structured_error(self):
+        env, log, jm = deploy_chaos_chain(n_records=100)
+        jm.run_until_done(limit=60.0)
+        with pytest.raises(FailureInjectionError) as err:
+            jm.kill_task("stage1[0]")
+        assert "stage1[0]" in str(err.value)
+        assert "finished" in str(err.value)
+
+    def test_deferral_deadline_names_victims_actual_status(self):
+        config = make_config(cost=fast_cost(kill_deferral_deadline=0.1))
+        env, log, jm = deploy_chaos_chain(config=config)
+        # Kill the task, then immediately ask for another (unforced) kill:
+        # the victim stays un-killable past the tiny deadline because
+        # recovery (deploy 0.2s) is still running when it expires.
+        env.schedule_callback(0.25, lambda: jm.kill_task("stage1[0]"))
+        env.schedule_callback(0.26, lambda: jm.kill_task("stage1[0]"))
+        with pytest.raises(FailureInjectionError) as err:
+            jm.run_until_done(limit=60.0)
+        assert "stage1[0]" in str(err.value)
+        assert "0.1" in str(err.value)
+
+
+class TestSuspicionFailureDetector:
+    def test_clean_run_has_no_spurious_failovers(self):
+        config = make_config(cost=fast_cost(heartbeat_interval=0.05))
+        env, log, jm = deploy_chaos_chain(config=config)
+        detector = jm.start_failure_detector()
+        jm.run_until_done(limit=60.0)
+        assert detector.declared_failed == []
+        assert not events(jm, "spurious-failover")
+        assert_exactly_once(log, 2, 1200)
+
+    def test_sustained_heartbeat_loss_triggers_failover_after_threshold(self):
+        import random
+
+        from repro.chaos.engine import ControlPlaneChaos
+
+        config = make_config(cost=fast_cost(heartbeat_interval=0.05))
+        env, log, jm = deploy_chaos_chain(config=config)
+        detector = jm.start_failure_detector(threshold=3)
+        victim = "stage1[0]"
+        # A partial control-plane partition: ONLY the victim's control
+        # traffic is lost, for ~6 heartbeat intervals — well past the
+        # threshold of consecutive misses.  The rest of the job heartbeats
+        # normally, so exactly one task fails over.
+        jm.control_chaos = ControlPlaneChaos(
+            env, random.Random(2), drop_rate=1.0, start=0.2, until=0.5,
+            target=victim,
+        )
+        jm.run_until_done(limit=60.0)
+        assert detector.heartbeats_lost > 0
+        assert any(
+            missed >= 3
+            for (_t, name, missed) in detector.suspicions
+            if name == victim
+        )
+        assert events(jm, "spurious-failover", victim)
+        # Only the starved task crosses the threshold; the one-beat loss
+        # window never fails anyone over.
+        assert [name for (_t, name) in detector.declared_failed] == [victim]
+        # The spurious failover is handled like any real one: the victim
+        # recovers and the output stays exactly-once.
+        assert_exactly_once(log, 2, 1200)
+
+    def test_single_missed_beat_is_forgiven(self):
+        config = make_config(cost=fast_cost(heartbeat_interval=0.05))
+        env, log, jm = deploy_chaos_chain(config=config)
+        detector = jm.start_failure_detector(threshold=3)
+        victim = "stage1[0]"
+        # Drop exactly one beat by faking a stale timestamp once.
+        def lose_one_beat():
+            detector.last_beat[victim] -= 0.08
+
+        env.schedule_callback(0.3, lose_one_beat)
+        jm.run_until_done(limit=60.0)
+        assert detector.declared_failed == []
+        assert not events(jm, "spurious-failover")

@@ -1,0 +1,69 @@
+"""FaultPlan/FaultSpec validation and random-plan determinism."""
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, FaultPlan, FaultSpec, random_plan
+from repro.errors import ChaosError
+
+TASKS = ["src[0]", "stage1[0]", "stage1[1]", "sink[0]"]
+LINKS = ["src[0]->stage1[0]", "stage1[0]->sink[0]"]
+
+
+def test_every_kind_validates():
+    for kind in FAULT_KINDS:
+        FaultSpec(at=1.0, kind=kind).validate()
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        dict(at=1.0, kind="meteor_strike"),
+        dict(at=-0.1, kind="task_kill"),
+        dict(at=1.0, kind="link_partition", duration=-1.0),
+        dict(at=1.0, kind="rpc_chaos", rate=1.5),
+        dict(at=1.0, kind="rpc_chaos", dup_rate=-0.2),
+        dict(at=1.0, kind="link_loss", count=0),
+        dict(at=1.0, kind="link_delay", factor=0.5),
+        dict(at=1.0, kind="dfs_brownout", factor=0.9),
+    ],
+)
+def test_invalid_specs_rejected(bad):
+    with pytest.raises(ChaosError):
+        FaultSpec(**bad).validate()
+
+
+def test_plan_add_validates_eagerly():
+    plan = FaultPlan(seed=3)
+    with pytest.raises(ChaosError):
+        plan.add(0.5, "not_a_fault")
+    assert len(plan) == 0
+
+
+def test_random_plan_is_deterministic():
+    a = random_plan(42, 10.0, task_names=TASKS, link_names=LINKS)
+    b = random_plan(42, 10.0, task_names=TASKS, link_names=LINKS)
+    assert a.specs == b.specs
+    c = random_plan(43, 10.0, task_names=TASKS, link_names=LINKS)
+    assert a.specs != c.specs or a.seed != c.seed
+
+
+def test_random_plan_faults_inside_horizon():
+    plan = random_plan(7, 10.0, task_names=TASKS, link_names=LINKS, max_faults=8)
+    assert 1 <= len(plan) <= 8
+    for spec in plan.specs:
+        spec.validate()
+        assert 1.0 <= spec.at <= 9.0  # middle 80% of the horizon
+    assert [s.at for s in plan.specs] == sorted(s.at for s in plan.specs)
+
+
+def test_random_plan_without_targets_skips_targeted_kinds():
+    plan = random_plan(11, 10.0, task_names=(), link_names=(), max_faults=16)
+    for spec in plan.specs:
+        assert spec.kind in ("rpc_chaos", "dfs_outage", "dfs_brownout",
+                             "external_faults")
+
+
+def test_random_plan_kind_restriction():
+    plan = random_plan(5, 10.0, task_names=TASKS, kinds=["task_kill"],
+                       max_faults=6)
+    assert plan.kinds() == ["task_kill"]

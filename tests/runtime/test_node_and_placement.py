@@ -93,6 +93,72 @@ def test_node_failure_spares_standbys_on_other_nodes():
     assert set(recovered) >= survivors_standby
 
 
+def test_failed_node_relocates_all_residents_and_recovers_exactly_once():
+    # fail_node=True marks the node dead: every resident (and co-hosted
+    # standby) dies with it, and every replacement must land elsewhere.
+    config = make_config(FaultToleranceMode.CLONOS)
+    env, log, jm = deploy_chain(config, n_records=2500)
+    victim_node = jm.vertices["stage2[0]"].node_id
+    residents = {
+        name
+        for name in jm.cluster.occupants_of_node(victim_node)
+        if name in jm.vertices
+    }
+    assert residents
+    env.schedule_callback(
+        0.6, lambda: jm.kill_node(victim_node, force=True, fail_node=True)
+    )
+    jm.run_until_done(limit=600)
+    killed = {name for (_t, name) in jm.failures_injected}
+    assert killed == residents
+    assert not jm.cluster.nodes[victim_node].alive
+    for name in residents:
+        placed = jm.cluster.node_of(name)
+        assert placed is not None and placed != victim_node, (
+            f"{name}: replacement placed on the dead node"
+        )
+        assert jm.vertices[name].node_id == placed
+    origins = Counter((v[0], v[1]) for v in sink_values(log))
+    assert len(origins) == 2 * 2500
+    assert all(c == 1 for c in origins.values())
+
+
+def test_standby_activation_when_standbys_node_has_failed():
+    # The victim's standby dies with its node just before the victim is
+    # killed: activation cannot take the fast path, recovery falls back to
+    # the DFS checkpoint, and the ladder re-provisions a standby on a node
+    # that is still alive.  Spare capacity so the reprovision is not
+    # deferred for lack of a slot.
+    config = make_config(FaultToleranceMode.CLONOS)
+    env, log, jm = deploy_chain(
+        config, n_records=2500, cluster=Cluster(num_nodes=12, slots_per_node=2)
+    )
+    victim = "stage2[0]"
+    standby_node = jm.vertices[victim].standby.node_id
+    assert standby_node != jm.vertices[victim].node_id  # anti-affinity
+    env.schedule_callback(
+        0.55, lambda: jm.kill_node(standby_node, force=True, fail_node=True)
+    )
+    env.schedule_callback(0.60, lambda: jm.kill_task(victim, force=True))
+    jm.run_until_done(limit=600)
+    assert any(
+        kind == "standby-lost" and who == victim
+        for (_t, kind, who) in jm.recovery_events
+    )
+    recovered = {
+        who for (_t, kind, who) in jm.recovery_events if kind == "recovered"
+    }
+    assert victim in recovered
+    standby = jm.vertices[victim].standby
+    assert standby is not None and not standby.failed
+    assert standby.node_id != standby_node, (
+        "re-provisioned standby placed on the dead node"
+    )
+    origins = Counter((v[0], v[1]) for v in sink_values(log))
+    assert len(origins) == 2 * 2500
+    assert all(c == 1 for c in origins.values())
+
+
 def test_incremental_checkpoints_write_less_dfs_data():
     def dfs_bytes(incremental):
         config = make_config(FaultToleranceMode.CLONOS, checkpoint_interval=0.25)
