@@ -61,6 +61,56 @@ def _chaos_status() -> str:
         return f"unavailable ({type(exc).__name__})"
 
 
+@lru_cache(maxsize=1)
+def _integrity_status() -> str:
+    """Integrity verdict (computed once per session; recorded in every
+    benchmark's extra_info).  Two cheap probes: the corruption-chaos soak
+    over fixed seeds (validated recovery must end exactly-once or announced
+    degraded) and the audit self-test (a seeded sweep must flag every
+    injected corruption).  Each seed reproduces locally with
+    ``python -m repro audit --soak --seed N``."""
+    try:
+        import random
+
+        from repro.cli import _audit_matches, _audit_run
+        from repro.integrity.audit import audit_job
+        from repro.integrity.corruption import random_corruptions
+        from repro.integrity.soak import integrity_soak
+        from repro.sim.rng import derive_seed
+
+        results = integrity_soak(range(3), n_records=600)
+        violations = [r.seed for r in results if r.verdict == "violation"]
+        if violations:
+            return f"violations at seeds {violations}"
+        flagged = sum(
+            int(r.integrity_summary.get("total_failed", 0)) + len(r.audit.violations)
+            for r in results
+        )
+
+        class _Args:
+            seed = 0
+            events = 600
+
+        jm = _audit_run(_Args)
+        injected = random_corruptions(
+            jm, 4, random.Random(derive_seed(0, "audit-inject"))
+        )
+        report = audit_job(jm)
+        missed = [
+            (kind, detail)
+            for kind, detail in injected
+            if not _audit_matches(kind, detail, report.violations)
+        ]
+        if missed or not injected:
+            return f"audit missed {len(missed)}/{len(injected)} injections"
+        return (
+            f"clean ({len(results)} soak seeds, {flagged} flagged; "
+            f"audit {len(injected)}/{len(injected)} detected)"
+        )
+    except Exception as exc:  # pragma: no cover - keep benchmarks running
+        return f"unavailable ({type(exc).__name__})"
+
+
 @pytest.fixture(autouse=True)
 def surface_reproduced_tables(capsys, request):
     """Benchmarks print the reproduced paper tables; pytest would normally
@@ -90,6 +140,7 @@ def run_once(benchmark, fn, *args, **kwargs):
         result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
     benchmark.extra_info["ndlint"] = _lint_status()
     benchmark.extra_info["chaos"] = _chaos_status()
+    benchmark.extra_info["integrity"] = _integrity_status()
     benchmark.extra_info["schedule_hash"] = combined_digest(tracers)
     benchmark.extra_info["schedule_events"] = sum(t.steps for t in tracers)
     return result

@@ -14,6 +14,7 @@ from repro.config import (
     CostModel,
     FaultToleranceMode,
     Guarantee,
+    IntegrityConfig,
     JobConfig,
     SpillPolicy,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "Environment",
     "FaultToleranceMode",
     "Guarantee",
+    "IntegrityConfig",
     "JobConfig",
     "JobGraph",
     "JobGraphBuilder",

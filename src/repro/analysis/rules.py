@@ -105,6 +105,18 @@ AMBIENT = Rule(
     "value is logged",
 )
 
+NONDET_SERIALIZATION = Rule(
+    "ND107",
+    "nondeterministic-serialization",
+    SEV_WARNING,
+    "persisted snapshot state has no canonical serialized form",
+    "none — checkpoint fingerprints assume a canonical value walk",
+    "§2.2 (task state snapshots); DESIGN.md Integrity & validated recovery",
+    "persist a sorted(...) projection (or an insertion-ordered dict) from "
+    "snapshot()/snapshot_state() so every re-serialization fingerprints "
+    "identically",
+)
+
 ALL_RULES: Tuple[Rule, ...] = (
     WALL_CLOCK,
     RNG,
@@ -112,6 +124,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     UNORDERED_ITERATION,
     SHARED_STATE,
     AMBIENT,
+    NONDET_SERIALIZATION,
 )
 
 RULES_BY_KEY = {rule.rule_id: rule for rule in ALL_RULES}
@@ -166,6 +179,17 @@ _AMBIENT_CALLS = frozenset(
 
 #: Calls whose results have no deterministic order.
 _UNORDERED_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
+
+#: Method names that build the state image a checkpoint persists.  Hash-order
+#: values constructed inside them feed the integrity layer's content
+#: fingerprint (repro.integrity.fingerprint), which canonicalises dict/set
+#: *containers* but cannot canonicalise an already hash-ordered projection
+#: (e.g. a list built from a set) — two runs of the same state then
+#: fingerprint differently and validated restores can false-positive.
+_SNAPSHOT_DEFS = frozenset({"snapshot", "snapshot_state"})
+
+#: Builtins whose results depend on element hashing / PYTHONHASHSEED.
+_HASH_ORDER_CALLS = frozenset({"set", "frozenset", "hash"})
 
 #: Methods that mutate their receiver in place.
 _MUTATORS = frozenset(
@@ -227,13 +251,32 @@ class RuleVisitor(ast.NodeVisitor):
     state (ND105).  Calls inside the argument list of a
     ``...services.custom(...)`` call are *sanctioned* — the custom determinant
     intercepts whatever happens inside (Listing 2) — and are exempt from
-    ND101/ND102/ND103/ND106.
+    ND101/ND102/ND103/ND106.  Bodies of methods named in ``_SNAPSHOT_DEFS``
+    additionally run the ND107 serialization checks: hash-ordered values
+    built there end up inside persisted, fingerprinted state.
     """
 
     def __init__(self, freevars: Iterable[str] = ()):
         self.freevars = frozenset(freevars)
         self.findings: List[RawFinding] = []
         self._sanctioned = 0
+        self._in_snapshot = 0
+        self._canonicalised = 0
+
+    # -- snapshot-method tracking (ND107) ---------------------------------------
+
+    def _visit_def(self, node) -> None:
+        if node.name in _SNAPSHOT_DEFS:
+            self._in_snapshot += 1
+            try:
+                self.generic_visit(node)
+            finally:
+                self._in_snapshot -= 1
+        else:
+            self.generic_visit(node)
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
 
     # -- helpers ----------------------------------------------------------------
 
@@ -265,6 +308,24 @@ class RuleVisitor(ast.NodeVisitor):
             finally:
                 self._sanctioned -= 1
             return
+        if name == "sorted" and self._in_snapshot:
+            # sorted(set(...)) is the ND107 remediation itself: the
+            # projection that gets persisted is canonical.  hash() stays
+            # flagged even here — its *values* vary across processes.
+            self._canonicalised += 1
+            try:
+                self.generic_visit(node)
+            finally:
+                self._canonicalised -= 1
+            return
+        if name is not None and self._in_snapshot and name in _HASH_ORDER_CALLS:
+            if name == "hash" or not self._canonicalised:
+                self._flag(
+                    NONDET_SERIALIZATION,
+                    node,
+                    f"{name}() in persisted snapshot state: value depends on "
+                    "element hashing",
+                )
         if name is not None and not self._sanctioned:
             self._check_call_name(name, node)
         self.generic_visit(node)
@@ -303,6 +364,27 @@ class RuleVisitor(ast.NodeVisitor):
             name = dotted_name(node.func)
             return name in ("set", "frozenset")
         return False
+
+    def visit_Set(self, node: ast.Set) -> None:
+        if self._in_snapshot and not self._canonicalised:
+            self._flag(
+                NONDET_SERIALIZATION,
+                node,
+                "set literal in persisted snapshot state serializes in hash order",
+            )
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        if self._in_snapshot and not self._canonicalised:
+            self._flag(
+                NONDET_SERIALIZATION,
+                node,
+                "set comprehension in persisted snapshot state serializes in "
+                "hash order",
+            )
+        for gen in node.generators:
+            self.visit_comprehension_iter(gen.iter)
+        self.generic_visit(node)
 
     def visit_For(self, node: ast.For) -> None:
         if self._is_unordered_expr(node.iter):

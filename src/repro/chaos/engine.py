@@ -14,6 +14,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.chaos.plan import LINK_KINDS, FaultPlan, FaultSpec
 from repro.config import FaultToleranceMode
 from repro.errors import ChaosError
+from repro.integrity.corruption import (
+    corrupt_checkpoint,
+    corrupt_inflight_entry,
+    truncate_determinant_log,
+)
 from repro.net.link import LinkChaos, NetworkLink
 from repro.runtime.task import TaskStatus
 from repro.sim.rng import derive_seed
@@ -285,6 +290,86 @@ class ChaosEngine:
             rng=rng,
         )
         self._note(spec, external.name)
+
+    # -- artifact corruption -----------------------------------------------------
+
+    #: Corruption needs a live artifact to damage; if none exists yet (first
+    #: checkpoint still uploading, log empty) the fault defers and retries.
+    _CORRUPTION_RETRY_DELAY = 0.06
+    _CORRUPTION_RETRIES = 25
+
+    def _candidates(self, pattern: str) -> List[str]:
+        if pattern in self.jm.vertices:
+            return [pattern]
+        return sorted(n for n in self.jm.vertices if fnmatch(n, pattern))
+
+    def _try_corrupt(self, spec: FaultSpec, attempt, miss: str, attempts=None) -> None:
+        """Run ``attempt()`` (returns a detail string or None); defer and
+        retry while it misses, then record a skip."""
+        attempts = self._CORRUPTION_RETRIES if attempts is None else attempts
+        detail = attempt()
+        if detail is not None:
+            self._note(spec, detail)
+            return
+        if attempts <= 0:
+            self._skip(spec, miss)
+            return
+        self.env.schedule_callback(
+            self._CORRUPTION_RETRY_DELAY,
+            lambda: self._try_corrupt(spec, attempt, miss, attempts - 1),
+        )
+
+    def _apply_blob_corruption(self, spec: FaultSpec) -> None:
+        self._corrupt_checkpoint(spec, torn=False)
+
+    def _apply_torn_write(self, spec: FaultSpec) -> None:
+        self._corrupt_checkpoint(spec, torn=True)
+
+    def _corrupt_checkpoint(self, spec: FaultSpec, torn: bool) -> None:
+        rng = random.Random(derive_seed(self.plan.seed, f"{spec.kind}@{spec.at:g}"))
+
+        def attempt():
+            names = self._candidates(spec.target)
+            rng.shuffle(names)
+            for name in names:
+                cid = corrupt_checkpoint(self.jm, name, torn=torn)
+                if cid is not None:
+                    return f"{name}@{cid}"
+            return None
+
+        self._try_corrupt(spec, attempt, "no stored checkpoint")
+
+    def _apply_buffer_bitflip(self, spec: FaultSpec) -> None:
+        rng = random.Random(derive_seed(self.plan.seed, f"bitflip@{spec.at:g}"))
+
+        def attempt():
+            names = self._candidates(spec.target)
+            rng.shuffle(names)
+            for name in names:
+                detail = corrupt_inflight_entry(self.jm, name, rng)
+                if detail is not None:
+                    return f"{name}:{detail}"
+            return None
+
+        self._try_corrupt(spec, attempt, "no logged in-flight buffers")
+
+    def _apply_determinant_truncation(self, spec: FaultSpec) -> None:
+        rng = random.Random(derive_seed(self.plan.seed, f"det-trunc@{spec.at:g}"))
+
+        def attempt():
+            names = self._candidates(spec.target)
+            rng.shuffle(names)
+            # The targeted victim may have no downstream holders at all (a
+            # sink's determinants are never replicated): widen to any task
+            # rather than deferring forever.
+            names += [n for n in sorted(self.jm.vertices) if n not in names]
+            for name in names:
+                detail = truncate_determinant_log(self.jm, name, rng)
+                if detail is not None:
+                    return f"{name}:{detail}"
+            return None
+
+        self._try_corrupt(spec, attempt, "no held determinant replicas")
 
     # -- accounting --------------------------------------------------------------
 

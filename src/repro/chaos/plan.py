@@ -28,7 +28,21 @@ FAULT_KINDS = frozenset(
         "dfs_outage",       # DFS fails every operation for `duration`
         "dfs_brownout",     # DFS `factor` times slower for `duration`
         "external_faults",  # external service error/slow window
+        # -- artifact corruption (silent until a validating read) ------------
+        "blob_corruption",          # silently corrupt a stored checkpoint
+        "torn_write",               # mark a checkpoint blob torn (partial write)
+        "buffer_bitflip",           # flip an element in a logged in-flight buffer
+        "determinant_truncation",   # truncate a held determinant-log replica
     }
+)
+
+#: Kinds that silently damage a stored artifact instead of failing a
+#: component.  They are *not* in :func:`random_plan`'s default palette —
+#: existing seeds keep producing the exact same plans — and are requested
+#: explicitly via ``kinds=`` (the integrity soak does).  Each corruption is
+#: paired with kills so a recovery actually reads the damaged artifact.
+CORRUPTION_KINDS = frozenset(
+    {"blob_corruption", "torn_write", "buffer_bitflip", "determinant_truncation"}
 )
 
 #: Kinds that interpret ``target`` as a link-name glob (fnmatch against
@@ -139,6 +153,7 @@ def random_plan(
         palette.append("rpc_chaos")
     if not task_names:
         palette = [k for k in palette if k not in ("task_kill", "standby_loss", "node_crash")]
+        palette = [k for k in palette if k not in CORRUPTION_KINDS]
     if not link_names:
         palette = [k for k in palette if k not in LINK_KINDS]
     if not palette:
@@ -178,5 +193,29 @@ def random_plan(
                 rate=0.1 + 0.4 * rng.random(),
                 factor=1.0 + 4.0 * rng.random(),
             )
+        elif kind in ("blob_corruption", "torn_write"):
+            # Corruptible artifacts only exist once checkpoints/logs filled
+            # up, so corruption lands late in the horizon (the engine also
+            # defers if the artifact is not there yet).
+            at = round(horizon * (0.3 + 0.45 * rng.random()), 4)
+            victim = rng.choice(list(task_names))
+            plan.add(at, kind, target=victim)
+            # Force the restore through the damaged durable artifact: take
+            # the (pristine) standby image out first, then kill the primary.
+            plan.add(round(at + 0.25 * window, 4), "standby_loss", target=victim)
+            plan.add(round(at + 0.5 * window, 4), "task_kill", target=victim)
+        elif kind == "buffer_bitflip":
+            at = round(horizon * (0.3 + 0.45 * rng.random()), 4)
+            plan.add(at, kind, target="*")  # engine finds a non-empty log
+            # A kill somewhere downstream makes replay read the flipped log.
+            plan.add(round(at + 0.5 * window, 4), "task_kill",
+                     target=rng.choice(list(task_names)))
+        elif kind == "determinant_truncation":
+            at = round(horizon * (0.3 + 0.45 * rng.random()), 4)
+            victim = rng.choice(list(task_names))
+            plan.add(at, kind, target=victim)
+            # Killing the victim makes recovery fetch its determinants from
+            # the (truncated) downstream replicas.
+            plan.add(round(at + 0.5 * window, 4), "task_kill", target=victim)
     plan.specs.sort(key=lambda s: s.at)
     return plan

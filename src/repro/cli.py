@@ -8,6 +8,7 @@
     python -m repro lint [all | q5 | examples | path/to/file.py ...] [--strict]
     python -m repro sanitize [all | quickstart | q3 ...]
     python -m repro chaos [--seeds 0:20 | --seed 9] [--max-faults 4]
+    python -m repro audit [--inject K] [--soak | --seeds 0:8]
 
 Every experiment subcommand prints the reproduced table/series of the
 corresponding figure; see EXPERIMENTS.md for the mapping to the paper.
@@ -15,7 +16,10 @@ corresponding figure; see EXPERIMENTS.md for the mapping to the paper.
 determinism sanitizer (see README, "Verifying your pipeline is causally
 loggable").  ``chaos`` soaks randomised fault plans against the recovery
 protocol and verdicts each run (see README, "Chaos testing the recovery
-protocol").
+protocol").  ``audit`` sweeps every stored artifact and verifies its
+content fingerprint — clean sweep exits 0; ``--inject K`` self-tests the
+sweep against seeded corruption; ``--soak`` runs corruption fault plans
+against the validated recovery ladder (see README, "Artifact integrity").
 """
 
 from __future__ import annotations
@@ -333,6 +337,132 @@ def _cmd_chaos(args) -> int:
     return 1 if violations else 0
 
 
+def _audit_matches(kind: str, detail: str, violations) -> bool:
+    """Did the sweep flag the artifact this injection damaged?"""
+    names = [name for (_kind, name, _detail) in violations]
+    if kind in ("blob_corruption", "torn_write"):
+        task, cid = detail.rsplit("@", 1)
+        return any(detail in n or f"chk/{task}/{cid}" in n for n in names)
+    if kind == "standby_image":
+        return any(
+            vkind == "standby-image" and name == detail
+            for (vkind, name, _d) in violations
+        )
+    if kind == "buffer_bitflip":
+        artifact = detail.rsplit(":", 1)[0]  # strip the mutation suffix
+        return any(artifact in n for n in names)
+    # determinant_truncation: "holder:log@epochN:-k" vs
+    # "holder:stored[victim]:log@epochN"
+    holder, rest = detail.split(":", 1)
+    log_at_epoch = rest.rsplit(":", 1)[0]
+    return any(n.startswith(holder) and log_at_epoch in n for n in names)
+
+
+def _audit_run(args):
+    """Deploy the synthetic chain and run it to mid-flight, so every artifact
+    class is populated: retained checkpoints, standby images, logged
+    in-flight buffers, determinant replicas."""
+    from repro.chaos.soak import fast_chaos_config
+    from repro.external.kafka import DurableLog
+    from repro.runtime.jobmanager import JobManager
+    from repro.sim.core import Environment
+    from repro.workloads.synthetic import synthetic_chain
+
+    config = fast_chaos_config(seed=args.seed or 0, checkpoint_interval=0.25)
+    env = Environment()
+    log = DurableLog()
+    graph = synthetic_chain(
+        log,
+        depth=3,
+        parallelism=2,
+        rate_per_partition=1000.0,
+        total_per_partition=args.events,
+        state_bytes_per_task=8192,
+        num_keys=16,
+        nondeterministic=True,
+        in_topic="audit-in",
+        out_topic="audit-out",
+        exactly_once_sink=True,
+    )
+    jm = JobManager(env, graph, config)
+    jm.deploy()
+    env.run(until=args.events / 1000.0 * 0.6)
+    return jm
+
+
+def _cmd_audit(args) -> int:
+    import random as random_module
+
+    from repro.integrity.audit import audit_job
+    from repro.integrity.corruption import random_corruptions
+    from repro.sim.rng import derive_seed
+
+    if args.soak or args.seeds is not None:
+        return _cmd_audit_soak(args)
+    jm = _audit_run(args)
+    injected = []
+    if args.inject:
+        rng = random_module.Random(derive_seed(args.seed or 0, "audit-inject"))
+        injected = random_corruptions(jm, args.inject, rng)
+        for kind, detail in injected:
+            print(f"injected: {kind} {detail}")
+    report = audit_job(jm)
+    print(report.render())
+    if args.inject:
+        missed = [
+            (kind, detail)
+            for kind, detail in injected
+            if not _audit_matches(kind, detail, report.violations)
+        ]
+        for kind, detail in missed:
+            print(f"MISSED: {kind} {detail}", file=sys.stderr)
+        print(
+            f"audit self-test: injected={len(injected)} "
+            f"detected={len(injected) - len(missed)}"
+        )
+        return 0 if injected and not missed else 1
+    return 0 if report.ok else 1
+
+
+def _cmd_audit_soak(args) -> int:
+    from repro.integrity.soak import integrity_soak
+
+    seeds = _parse_seeds(args) if (args.seeds or args.seed is not None) else list(range(8))
+    results = integrity_soak(seeds, n_records=args.events)
+    rows = []
+    violations = 0
+    for r in results:
+        rows.append(
+            (
+                r.seed,
+                r.verdict,
+                r.corruptions_injected,
+                r.integrity_summary.get("total_failed", 0),
+                len(r.audit.violations),
+            )
+        )
+        violations += r.verdict == "violation"
+        if r.verdict == "violation":
+            print(f"--- seed {r.seed}: {r.verdict}")
+            for when, kind, who in r.chaos.recovery_events:
+                if not kind.startswith("suspected"):
+                    print(f"    t={when:.4f} {kind} {who}")
+    print("integrity soak: corruption fault plans vs the validation layer")
+    print(
+        render_table(
+            ["seed", "verdict", "injected", "flagged in run", "flagged by audit"],
+            rows,
+        )
+    )
+    n_eo = sum(r.verdict == "exactly-once" for r in results)
+    n_deg = sum(r.verdict == "degraded:global_rollback" for r in results)
+    print(
+        f"\n{len(results)} runs: {n_eo} exactly-once, {n_deg} degraded, "
+        f"{violations} violations"
+    )
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -398,6 +528,27 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--verbose", action="store_true",
                     help="print every run's recovery events")
     pc.set_defaults(fn=_cmd_chaos)
+
+    pa = sub.add_parser(
+        "audit",
+        help="sweep every stored artifact (checkpoints, logs, standby "
+             "images) and verify its fingerprint",
+    )
+    pa.add_argument("--seed", type=int, default=None,
+                    help="workload/injection seed (default 0); with --soak, "
+                         "run exactly one soak seed")
+    pa.add_argument("--inject", type=int, default=0, metavar="K",
+                    help="self-test: corrupt K artifacts mid-flight and "
+                         "require the sweep to flag every one")
+    pa.add_argument("--soak", action="store_true",
+                    help="run the corruption-chaos soak instead of a single "
+                         "sweep (validated recovery + closing audit per seed)")
+    pa.add_argument("--seeds", default=None,
+                    help="soak seed range lo:hi or comma list (implies --soak; "
+                         "default 0:8)")
+    pa.add_argument("--events", type=int, default=1200,
+                    help="records per source partition")
+    pa.set_defaults(fn=_cmd_audit)
     return parser
 
 

@@ -242,6 +242,26 @@ class ClonosConfig:
 
 
 @dataclass
+class IntegrityConfig:
+    """Artifact-integrity knobs (checksummed checkpoints & validated reads).
+
+    Every persisted recovery artifact carries a content fingerprint
+    (``repro.integrity``); these settings control whether fingerprints are
+    *verified* on read/install and how many completed checkpoints the
+    :class:`~repro.state.snapshot.SnapshotStore` retains for the multi-epoch
+    fallback ladder.
+    """
+
+    #: Verify fingerprints on every read/install; ``False`` is the control
+    #: configuration that demonstrates corruption would otherwise be silent.
+    validate: bool = True
+    #: Retain-last-N completed checkpoints.  N >= 2 gives global rollback an
+    #: older known-good epoch to fall back to when the newest one is corrupt;
+    #: everything older is subsumption-GCed from the DFS.
+    retain_checkpoints: int = 2
+
+
+@dataclass
 class JobConfig:
     """Everything needed to run one streaming job in the simulation."""
 
@@ -271,6 +291,8 @@ class JobConfig:
     #: Abort a pending checkpoint whose barriers/acks never complete (e.g. an
     #: ``inject_barrier`` RPC was lost); ``None`` means 10x the interval.
     checkpoint_timeout: Optional[float] = None
+    #: Artifact fingerprints, validated restores, checkpoint retention.
+    integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
 
     @property
     def effective_checkpoint_timeout(self) -> float:
@@ -286,6 +308,8 @@ class JobConfig:
             raise JobError("determinant sharing depth must be >= 0 or None (full)")
         if self.cost.heartbeat_timeout < self.cost.heartbeat_interval:
             raise JobError("heartbeat timeout must be >= interval")
+        if self.integrity.retain_checkpoints < 1:
+            raise JobError("integrity.retain_checkpoints must be >= 1")
 
     def with_mode(self, mode: FaultToleranceMode, **clonos_overrides) -> "JobConfig":
         """A copy of this config under a different fault-tolerance scheme."""

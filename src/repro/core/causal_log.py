@@ -19,9 +19,13 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.determinants import Determinant
-from repro.errors import DeterminantLogError
+from repro.errors import DeterminantLogError, IntegrityError
+from repro.integrity.fingerprint import combine, fingerprint
 
 MAIN = "main"
+
+#: Rolling-CRC seed for an empty epoch (any fixed nonzero constant works).
+_CRC_SEED = 0x1EDC6F41
 
 
 def queue_log_name(channel_index: int) -> str:
@@ -38,12 +42,20 @@ class EpochLog:
     def __init__(self):
         self._epochs: Dict[int, List[Determinant]] = {}
         self.bytes_held = 0
+        #: Rolling per-epoch content fingerprint, maintained incrementally
+        #: by every API-mediated append/merge.  Out-of-band mutation (the
+        #: chaos engine's determinant truncation) leaves it stale, which is
+        #: exactly what :meth:`verify` detects.
+        self._crcs: Dict[int, int] = {}
 
     def append(self, epoch: int, determinant: Determinant) -> int:
         """Append and return the entry's index within its epoch."""
         entries = self._epochs.setdefault(epoch, [])
         entries.append(determinant)
         self.bytes_held += determinant.wire_size()
+        self._crcs[epoch] = combine(
+            self._crcs.get(epoch, _CRC_SEED), fingerprint(determinant)
+        )
         return len(entries) - 1
 
     def entries(self, epoch: int) -> List[Determinant]:
@@ -62,6 +74,7 @@ class EpochLog:
         for e in stale:
             self.bytes_held -= sum(d.wire_size() for d in self._epochs[e])
             del self._epochs[e]
+            self._crcs.pop(e, None)
         return dropped
 
     def merge_slice(self, epoch: int, base_index: int, entries: List[Determinant]) -> None:
@@ -78,6 +91,27 @@ class EpochLog:
             fresh = entries[new_from:]
             stored.extend(fresh)
             self.bytes_held += sum(d.wire_size() for d in fresh)
+            crc = self._crcs.get(epoch, _CRC_SEED)
+            for det in fresh:
+                crc = combine(crc, fingerprint(det))
+            self._crcs[epoch] = crc
+
+    def verify(self, name: str = "") -> None:
+        """Raise :class:`IntegrityError` if any epoch's entries no longer
+        match its rolling fingerprint.  Epochs without a recorded CRC (e.g.
+        a transient recovery bundle assembled by :func:`merge_bundles`) are
+        skipped — they were never sealed."""
+        for epoch, expected in self._crcs.items():
+            crc = _CRC_SEED
+            for det in self._epochs.get(epoch, ()):
+                crc = combine(crc, fingerprint(det))
+            if crc != expected:
+                raise IntegrityError(
+                    "determinant-log",
+                    f"{name}@epoch{epoch}",
+                    expected=expected,
+                    actual=crc,
+                )
 
     def size_bytes(self) -> int:
         return sum(
@@ -103,6 +137,11 @@ class LogBundle:
 
     def truncate_before(self, epoch: int) -> int:
         return sum(log.truncate_before(epoch) for log in self.logs.values())
+
+    def verify(self, owner: str = "") -> None:
+        """Verify every log's rolling fingerprints (see EpochLog.verify)."""
+        for name, log in self.logs.items():
+            log.verify(f"{owner}:{name}" if owner else name)
 
     def size_bytes(self) -> int:
         return sum(log.size_bytes() for log in self.logs.values())

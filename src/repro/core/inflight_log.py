@@ -18,11 +18,14 @@ Four spill policies (Section 6.1):
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.config import CostModel, SpillPolicy
-from repro.errors import RecoveryError
+from repro.errors import IntegrityError, RecoveryError
+from repro.integrity.fingerprint import combine, fingerprint
+from repro.integrity.monitor import IntegrityMonitor
 from repro.net.buffer import BufferPool, NetworkBuffer
 from repro.net.link import NetworkLink
 from repro.net.writer import InFlightLogSink
@@ -30,13 +33,42 @@ from repro.sim.core import Environment
 from repro.sim.queues import Signal
 
 
+def buffer_fingerprint(buffer: NetworkBuffer) -> int:
+    """Content fingerprint of a logged buffer: header plus the ordered
+    element sequence, so a dropped, duplicated, reordered, or value-mutated
+    element changes the digest.  Elements are digested through their reprs
+    (C-speed) because this runs on every logged buffer."""
+    crc = fingerprint((buffer.channel_id, buffer.seq, buffer.epoch))
+    for element in buffer.elements:
+        crc = combine(crc, zlib.crc32(repr(element).encode()) & 0xFFFFFFFF)
+    return crc
+
+
 class LogEntry:
-    __slots__ = ("buffer", "sent", "spilled")
+    __slots__ = ("buffer", "sent", "spilled", "crc")
 
     def __init__(self, buffer: NetworkBuffer, sent: bool):
         self.buffer = buffer
         self.sent = sent
         self.spilled = False
+        #: Fingerprint sealed when the log took ownership of the buffer;
+        #: verified on replay read-back (and by ``repro audit``).
+        self.crc = buffer_fingerprint(buffer)
+
+    def verify(self, owner: str = "") -> None:
+        actual = buffer_fingerprint(self.buffer)
+        if actual != self.crc:
+            raise IntegrityError(
+                "inflight-segment",
+                f"{owner}:ch{self.buffer.channel_id}:seq{self.buffer.seq}",
+                expected=self.crc,
+                actual=actual,
+                detail="spilled segment" if self.spilled else "logged buffer",
+            )
+
+    @property
+    def intact(self) -> bool:
+        return buffer_fingerprint(self.buffer) == self.crc
 
 
 class InFlightLog(InFlightLogSink):
@@ -50,12 +82,14 @@ class InFlightLog(InFlightLogSink):
         policy: SpillPolicy = SpillPolicy.SPILL_THRESHOLD,
         spill_threshold_fraction: float = 0.25,
         name: str = "",
+        monitor: Optional[IntegrityMonitor] = None,
     ):
         self.env = env
         self.cost = cost
         self.policy = policy
         self.threshold = spill_threshold_fraction
         self.name = name
+        self.monitor = monitor
         self.pool = BufferPool(
             env, pool_bytes, cost.buffer_size_bytes, name=f"inflight:{name}"
         )
@@ -219,6 +253,18 @@ class InFlightLog(InFlightLogSink):
                     yield self.env.timeout(
                         self.cost.disk_write_time(entry.buffer.size_bytes)
                     )
+                if self.monitor is not None and self.monitor.validate:
+                    # Checksum what we are about to re-send: a corrupted
+                    # segment replayed downstream becomes silent wrong
+                    # output, the one outcome integrity must rule out.
+                    try:
+                        entry.verify(self.name)
+                    except IntegrityError as exc:
+                        self.monitor.record_failure(
+                            exc.artifact, exc.name, str(exc)
+                        )
+                        raise
+                    self.monitor.record_ok("inflight-segment")
                 if delta_provider is not None:
                     delta, delta_bytes = delta_provider(channel_index)
                     entry.buffer.delta = delta

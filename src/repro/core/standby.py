@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config import CostModel
-from repro.errors import RecoveryError
+from repro.errors import IntegrityError, RecoveryError
+from repro.integrity.monitor import IntegrityMonitor
 from repro.sim.core import Environment
 from repro.state.snapshot import TaskSnapshot
 
@@ -26,13 +27,21 @@ from repro.state.snapshot import TaskSnapshot
 class StandbyState:
     """The standby side of one task: last received snapshot + transfer state."""
 
-    def __init__(self, env: Environment, cost: CostModel, task_name: str, node_id: int):
+    def __init__(
+        self,
+        env: Environment,
+        cost: CostModel,
+        task_name: str,
+        node_id: int,
+        monitor: Optional[IntegrityMonitor] = None,
+    ):
         self.env = env
         self.cost = cost
         self.task_name = task_name
         #: Cluster node hosting the standby (anti-affinity decided at
         #: placement time, Section 6.3).
         self.node_id = node_id
+        self.monitor = monitor
         self.snapshot: Optional[TaskSnapshot] = None
         self._transfer_done = None  # event while a dispatch is in flight
         self.transfers_received = 0
@@ -87,6 +96,19 @@ class StandbyState:
             )
         # No snapshot (no checkpoint completed yet) is fine: activation
         # proceeds with empty state.
+        if (
+            self.snapshot is not None
+            and self.monitor is not None
+            and self.monitor.validate
+        ):
+            # Installing a corrupt image would silently fork the task's
+            # state; a failed check escalates to the DFS checkpoint instead.
+            try:
+                self.snapshot.verify(artifact="standby-image")
+            except IntegrityError as exc:
+                self.monitor.record_failure(exc.artifact, exc.name, str(exc))
+                raise
+            self.monitor.record_ok("standby-image")
         return self.snapshot
 
     @property

@@ -66,6 +66,38 @@ class DeterminantLogError(RecoveryError):
     """The determinant log is malformed or diverges from re-execution."""
 
 
+class IntegrityError(RecoveryError):
+    """A recovery artifact failed content validation, structured for tooling.
+
+    Raised when a checkpoint blob, standby state image, spilled in-flight
+    segment, or determinant log is readable but *wrong* — its recomputed
+    content fingerprint no longer matches the fingerprint recorded when the
+    artifact was produced.  Subclasses :class:`RecoveryError` so the
+    escalation ladder treats "readable but corrupt" like any other failed
+    recovery step (retry, fall back, degrade) instead of crashing the job.
+    """
+
+    def __init__(
+        self,
+        artifact: str,
+        name: str,
+        expected=None,
+        actual=None,
+        detail: str = None,
+    ):
+        message = f"integrity violation in {artifact} {name!r}"
+        if detail:
+            message += f": {detail}"
+        if expected is not None or actual is not None:
+            message += f" (expected crc={expected!r}, got crc={actual!r})"
+        super().__init__(message)
+        self.artifact = artifact
+        self.name = name
+        self.expected = expected
+        self.actual = actual
+        self.detail = detail
+
+
 class ExternalSystemError(ReproError):
     """Simulated external system (Kafka/DFS/HTTP) rejected an operation."""
 

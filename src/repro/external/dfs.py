@@ -3,16 +3,48 @@
 Checkpoints and state-snapshot dispatch go through here; operations charge
 simulated time proportional to size with a shared-bandwidth approximation
 (concurrent writers halve each other's throughput via a token resource).
+
+Each blob carries two content fingerprints: the CRC the writer *declared*
+and the CRC of what the datanodes actually *hold*.  They start equal; the
+chaos engine's silent-corruption and torn-write faults drive them apart (or
+mark the blob torn), and a validating read detects the mismatch with a
+structured :class:`~repro.errors.IntegrityError` — the simulation's version
+of checksummed HDFS blocks.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.config import CostModel
-from repro.errors import ExternalSystemError
+from repro.errors import ExternalSystemError, IntegrityError
 from repro.sim.core import Environment
 from repro.sim.queues import Resource
+
+
+class BlobRecord:
+    """One stored blob: size plus integrity metadata."""
+
+    __slots__ = ("size_bytes", "declared_crc", "content_crc", "torn")
+
+    def __init__(self, size_bytes: int, crc: Optional[int] = None):
+        self.size_bytes = size_bytes
+        #: Fingerprint the writer recorded next to the blob (None = legacy
+        #: unfingerprinted write; validation is skipped for those).
+        self.declared_crc = crc
+        #: Fingerprint of the bytes actually held; chaos mutates this one.
+        self.content_crc = crc
+        #: True when a write was torn mid-flight: the blob exists in the
+        #: namespace but its tail is garbage.
+        self.torn = False
+
+    @property
+    def intact(self) -> bool:
+        return not self.torn and self.declared_crc == self.content_crc
+
+    def __repr__(self) -> str:
+        flag = " TORN" if self.torn else ""
+        return f"BlobRecord({self.size_bytes}B, crc={self.content_crc}{flag})"
 
 
 class DistributedFileSystem:
@@ -21,7 +53,7 @@ class DistributedFileSystem:
     def __init__(self, env: Environment, cost: CostModel, write_slots: int = 6):
         self.env = env
         self.cost = cost
-        self._blobs: Dict[str, int] = {}
+        self._blobs: Dict[str, BlobRecord] = {}
         #: Concurrency limit on the datanode write path; contention under a
         #: global restart (all tasks restoring at once) is what makes Flink's
         #: recovery slow at scale.
@@ -53,12 +85,29 @@ class DistributedFileSystem:
             )
 
     def _degraded(self, seconds: float) -> float:
-        if self.env.now < self.brownout_until:
-            return seconds * self.brownout_factor
-        return seconds
+        """Wall time for ``seconds`` of nominal I/O, brownout-aware.
 
-    def write(self, path: str, size_bytes: int):
-        """Generator: persist ``size_bytes`` under ``path``."""
+        Piecewise: work started inside the brownout window runs at
+        ``brownout_factor`` until the window closes, then at full speed —
+        so an operation that merely *straddles* the brownout edge is not
+        charged the degraded rate for its whole duration.
+        """
+        window = self.brownout_until - self.env.now
+        if window <= 0 or self.brownout_factor <= 1.0:
+            return seconds
+        degraded = seconds * self.brownout_factor
+        if degraded <= window:
+            return degraded  # finishes entirely inside the brownout
+        # Work done while degraded, then the remainder at full speed.
+        work_in_window = window / self.brownout_factor
+        return window + (seconds - work_in_window)
+
+    def write(self, path: str, size_bytes: int, crc: Optional[int] = None):
+        """Generator: persist ``size_bytes`` under ``path``.
+
+        ``crc`` is the writer's content fingerprint, stored alongside the
+        blob for validation on read (and by ``repro audit``).
+        """
         if size_bytes < 0:
             raise ExternalSystemError("negative write size")
         self._check_outage()
@@ -67,17 +116,24 @@ class DistributedFileSystem:
             self._check_outage()
             yield self.env.timeout(self._degraded(self.cost.dfs_write_time(size_bytes)))
             self._check_outage()
-            self._blobs[path] = size_bytes
+            self._blobs[path] = BlobRecord(size_bytes, crc)
             self.bytes_written += size_bytes
         finally:
             self._io_slots.release()
 
-    def read(self, path: str, size_bytes: int = None):
-        """Generator: read a blob back (size defaults to what was written)."""
-        if path not in self._blobs:
+    def read(self, path: str, size_bytes: int = None, validate: bool = False):
+        """Generator: read a blob back (size defaults to what was written).
+
+        With ``validate=True`` the read checks the blob's integrity metadata
+        *after* paying the I/O time (a reader must fetch the bytes before it
+        can checksum them) and raises :class:`IntegrityError` on a torn blob
+        or a declared/content fingerprint mismatch.
+        """
+        record = self._blobs.get(path)
+        if record is None:
             raise ExternalSystemError(f"no blob at {path!r}")
         self._check_outage()
-        nbytes = self._blobs[path] if size_bytes is None else size_bytes
+        nbytes = record.size_bytes if size_bytes is None else size_bytes
         yield self._io_slots.acquire()
         try:
             self._check_outage()
@@ -86,7 +142,31 @@ class DistributedFileSystem:
             self.bytes_read += nbytes
         finally:
             self._io_slots.release()
+        if validate:
+            self.verify_blob(path)
         return nbytes
+
+    def verify_blob(self, path: str) -> None:
+        """Check a blob's integrity metadata (no I/O time; the caller either
+        just paid for the read or is the audit sweep, which is free)."""
+        record = self._blobs.get(path)
+        if record is None:
+            raise ExternalSystemError(f"no blob at {path!r}")
+        if record.torn:
+            raise IntegrityError("blob", path, detail="torn write (truncated tail)")
+        if record.declared_crc is not None and record.declared_crc != record.content_crc:
+            raise IntegrityError(
+                "blob", path, expected=record.declared_crc, actual=record.content_crc
+            )
+
+    def blob_record(self, path: str) -> Optional[BlobRecord]:
+        return self._blobs.get(path)
+
+    def blob_count(self) -> int:
+        return len(self._blobs)
+
+    def paths(self):
+        return list(self._blobs)
 
     def exists(self, path: str) -> bool:
         return path in self._blobs

@@ -16,6 +16,7 @@ Two partition flavours exist:
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExternalSystemError
@@ -122,10 +123,60 @@ class GeneratedTopicPartition(TopicPartition):
 
 
 class DurableLog:
-    """A broker holding all topics (a 3-node Kafka cluster stand-in)."""
+    """A broker holding all topics (a 3-node Kafka cluster stand-in).
+
+    Fault model (mirrors :class:`repro.external.dfs.DistributedFileSystem`):
+    an *outage* fails every operation until a simulated instant; a *brownout*
+    fails a seeded fraction of operations.  Faults surface as
+    :class:`ExternalSystemError` — clients (source poll loops, transactional
+    commits) must stall-and-retry without losing or duplicating records.
+    """
 
     def __init__(self):
         self._partitions: Dict[Tuple[str, int], TopicPartition] = {}
+        #: Every operation before this simulated instant fails.
+        self.outage_until = 0.0
+        #: Operations before this instant fail with ``brownout_failure_rate``.
+        self.brownout_until = 0.0
+        self.brownout_failure_rate = 0.0
+        self._brownout_rng = random.Random(0)
+        #: Operations refused by a fault window (observability for tests/chaos).
+        self.failed_ops = 0
+
+    # -- fault injection --------------------------------------------------------
+
+    def set_outage(self, until: float) -> None:
+        """Full broker outage until simulated time ``until``."""
+        self.outage_until = max(self.outage_until, until)
+
+    def set_brownout(self, until: float, failure_rate: float, seed: int = 0) -> None:
+        """Flaky broker until ``until``: each operation fails with
+        ``failure_rate`` probability (seeded, so runs are reproducible)."""
+        self.brownout_until = max(self.brownout_until, until)
+        self.brownout_failure_rate = failure_rate
+        self._brownout_rng = random.Random(seed)
+
+    def check_available(self, now: float, op: str = "") -> None:
+        """Raise :class:`ExternalSystemError` if the broker refuses ``op`` at
+        simulated time ``now`` (outage, or a brownout coin-flip)."""
+        if now < self.outage_until:
+            self.failed_ops += 1
+            raise ExternalSystemError(
+                f"broker outage (until t={self.outage_until:g}): {op or 'op'}"
+            )
+        if (
+            now < self.brownout_until
+            and self._brownout_rng.random() < self.brownout_failure_rate
+        ):
+            self.failed_ops += 1
+            raise ExternalSystemError(f"broker brownout: {op or 'op'}")
+
+    def retry_at(self, now: float, backoff: float = 0.05) -> float:
+        """When a refused client should try again: after the outage window if
+        one is active, else a short backoff (brownouts clear per-operation)."""
+        if now < self.outage_until:
+            return max(self.outage_until, now + backoff)
+        return now + backoff
 
     def create_topic(self, topic: str, partitions: int = 1) -> None:
         if partitions < 1:
@@ -160,6 +211,7 @@ class DurableLog:
         return parts
 
     def append(self, topic: str, partition: int, now: float, value: Any) -> int:
+        self.check_available(now, f"append {topic}/{partition}")
         return self.partition(topic, partition).append(now, value)
 
     def topic_size(self, topic: str) -> int:

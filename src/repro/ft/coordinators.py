@@ -35,7 +35,13 @@ from typing import List, Optional
 from repro.config import FaultToleranceMode
 from repro.core.causal_log import merge_bundles
 from repro.core.dsd import RecoveryCase, classify_failed_task, downstream_within
-from repro.errors import ExternalSystemError, JobError, RecoveryError, ReproError
+from repro.errors import (
+    ExternalSystemError,
+    IntegrityError,
+    JobError,
+    RecoveryError,
+    ReproError,
+)
 from repro.operators.source import KafkaSource
 from repro.runtime.task import TaskStatus
 
@@ -63,6 +69,25 @@ class BaseCoordinator:
 
     def on_failure_detected(self, task_name: str) -> None:
         raise NotImplementedError
+
+    def degrade(self, task_name: str, reason: str) -> None:
+        """A recovery artifact needed for exact replay is corrupt beyond
+        local repair (e.g. a logged in-flight buffer failed its checksum
+        during replay): announce the degradation and restart globally, which
+        regenerates the lost data from the sources instead of replaying the
+        corrupt copy."""
+        jm = self.jm
+        jm.recovery_events.append((self.env.now, f"integrity:{reason}", task_name))
+        jm.recovery_events.append(
+            (self.env.now, "degraded:global_rollback", task_name)
+        )
+        if hasattr(self, "degradations"):
+            self.degradations += 1
+        fallback = getattr(self, "_fallback", None)
+        if fallback is not None:
+            fallback.on_failure_detected(task_name)
+        else:
+            self.on_failure_detected(task_name)
 
     # -- recovery supervision ---------------------------------------------------------
 
@@ -243,25 +268,67 @@ class GlobalRollbackCoordinator(BaseCoordinator):
                 task.fail()
                 jm.cluster.release(vertex.name)
         yield self.env.timeout(self.cost.task_cancel_time)
-        cid = jm.completed_checkpoint
-        snapshots = {}
-        procs = [
-            self.env.process(
-                self._prepare_one(vertex, cid, snapshots),
-                name=f"restart:{vertex.name}",
-            )
-            for vertex in jm.vertices.values()
-        ]
-        try:
-            yield self.env.all_of(procs)
-        except ReproError as exc:
-            # A restart that cannot complete (e.g. the cluster lost too much
-            # capacity) must surface as a job failure, not a silent wedge.
+        # Multi-epoch fallback ladder: restore the newest epoch that passes
+        # validation for *every* task (mixed-epoch restores are inconsistent,
+        # so epoch selection is all-or-nothing).  If a load still trips an
+        # integrity check (corruption injected after the metadata probe),
+        # exclude that epoch and re-select an older one.
+        excluded: set = set()
+        while True:
+            cid = self._select_restore_epoch(excluded)
+            snapshots = {}
+            procs = [
+                self.env.process(
+                    self._prepare_one(vertex, cid, snapshots),
+                    name=f"restart:{vertex.name}",
+                )
+                for vertex in jm.vertices.values()
+            ]
+            try:
+                yield self.env.all_of(procs)
+            except IntegrityError as exc:
+                jm.recovery_events.append(
+                    (self.env.now, "integrity:restore-failed", repr(exc))
+                )
+                excluded.add(cid)
+                continue
+            except ReproError as exc:
+                # A restart that cannot complete (e.g. the cluster lost too
+                # much capacity) must surface as a job failure, not a silent
+                # wedge.
+                jm.recovery_events.append(
+                    (self.env.now, "global-restart-failed", repr(exc))
+                )
+                jm.crashed.append(("global-restart", exc))
+                return
+            break
+        if cid < jm.completed_checkpoint:
+            # The fallback committed to an older epoch: checkpoints newer
+            # than it belong to the abandoned timeline.  Rewind the job's
+            # checkpoint bookkeeping and drop the newer snapshots, or a
+            # later *local* recovery would restore a task from a future the
+            # rest of the job rolled back past.
+            dropped = jm.snapshot_store.discard_newer_than(cid)
+            jm.checkpoints_completed = [
+                (c, t) for (c, t) in jm.checkpoints_completed if c <= cid
+            ]
+            jm.completed_checkpoint = cid
+            # Standby images newer than the restored epoch are from the
+            # abandoned timeline too: a later standby activation would
+            # resurrect state (and channel sequence expectations) the rest
+            # of the job no longer has.  Downgrade them to the restored
+            # epoch's snapshot.
+            for vertex in jm.vertices.values():
+                standby = vertex.standby
+                if (
+                    standby is not None
+                    and standby.snapshot is not None
+                    and standby.snapshot.checkpoint_id > cid
+                ):
+                    standby.snapshot = jm.snapshot_store.get(vertex.name, cid)
             jm.recovery_events.append(
-                (self.env.now, "global-restart-failed", repr(exc))
+                (self.env.now, f"integrity:timeline-rewind:{cid}", f"dropped={dropped}")
             )
-            jm.crashed.append(("global-restart", exc))
-            return
         # Attach every rebuilt task to the links before any of them starts:
         # snapshot loads finish at different times, and an upstream that
         # started early would stream into a predecessor's torn-down gate —
@@ -286,6 +353,60 @@ class GlobalRollbackCoordinator(BaseCoordinator):
         jm.recovering_tasks.clear()
         self._restarting = False
         jm.recovery_events.append((self.env.now, "global-restart-done", "*"))
+
+    def _select_restore_epoch(self, excluded=()) -> int:
+        """The multi-epoch rung of the fallback ladder.
+
+        Walk the retained completed checkpoints newest-first and pick the
+        first whose every stored snapshot passes validation (metadata probe,
+        no I/O); falling back past the newest epoch — or all the way to an
+        empty restart — is announced as ``degraded:global_rollback`` because
+        replaying an older epoch can re-emit output already committed
+        externally (at-least-once, not exactly-once).
+        """
+        jm = self.jm
+        latest = jm.completed_checkpoint
+        if latest <= 0:
+            return 0
+        if not jm.integrity.validate:
+            return latest if latest not in excluded else 0
+        store = jm.snapshot_store
+        candidates = sorted(
+            {
+                cid
+                for (_name, cid) in store._snapshots
+                if cid <= latest and cid not in excluded
+            },
+            reverse=True,
+        )
+        for cid in candidates:
+            corrupt = [
+                vertex.name
+                for vertex in jm.vertices.values()
+                if store.get(vertex.name, cid) is not None
+                and not store.peek_valid(vertex.name, cid)
+            ]
+            if not corrupt:
+                if cid != latest:
+                    jm.recovery_events.append(
+                        (self.env.now, f"integrity:epoch-fallback:{latest}->{cid}", "*")
+                    )
+                    jm.recovery_events.append(
+                        (self.env.now, "degraded:global_rollback", "epoch-fallback")
+                    )
+                return cid
+            jm.recovery_events.append(
+                (
+                    self.env.now,
+                    f"integrity:epoch-invalid:{cid}",
+                    ",".join(sorted(corrupt)),
+                )
+            )
+        jm.recovery_events.append((self.env.now, "integrity:no-valid-epoch", "*"))
+        jm.recovery_events.append(
+            (self.env.now, "degraded:global_rollback", "no-valid-epoch")
+        )
+        return 0
 
     def _prepare_one(self, vertex, checkpoint_id: int, snapshots: dict):
         yield self.env.timeout(self.cost.task_deploy_time)
@@ -354,6 +475,16 @@ class ClonosCoordinator(BaseCoordinator):
             jm.recovery_events.append(
                 (self.env.now, f"recovery-retry:{label}", vertex.name)
             )
+            if label.startswith("checkpoint-restore") and self._latest_epoch_corrupt(
+                vertex
+            ):
+                # The only local restore source is corrupt — retrying cannot
+                # fix a bad artifact.  Skip straight to the global fallback,
+                # which can select an older validated epoch.
+                jm.recovery_events.append(
+                    (self.env.now, "integrity:local-restore-unavailable", vertex.name)
+                )
+                break
             if attempt < attempts - 1:
                 yield self.env.timeout(policy.delay(attempt, rng))
         # Rung 3: graceful degradation to global-rollback semantics.
@@ -363,6 +494,18 @@ class ClonosCoordinator(BaseCoordinator):
         )
         jm.recovering_tasks.discard(vertex.name)
         self._fallback.on_failure_detected(vertex.name)
+
+    def _latest_epoch_corrupt(self, vertex) -> bool:
+        """Whether the newest completed checkpoint of this task exists but
+        fails validation (a metadata probe, no I/O)."""
+        jm = self.jm
+        cid = jm.completed_checkpoint
+        return (
+            jm.integrity.validate
+            and cid > 0
+            and jm.snapshot_store.get(vertex.name, cid) is not None
+            and not jm.snapshot_store.peek_valid(vertex.name, cid)
+        )
 
     def _attempt_recovery(self, vertex, case: RecoveryCase, prefer_standby: bool):
         """One pass over the six steps, each under the step deadline.
@@ -434,6 +577,22 @@ class ClonosCoordinator(BaseCoordinator):
                 continue
             stored = holder.causal.stored_bundle_for(vertex.name)
             if stored is not None:
+                if jm.integrity.validate:
+                    # A truncated/corrupt replica cannot be told apart from a
+                    # legitimately short prefix, so a holder failing its
+                    # checksum fails the step: the ladder degrades rather
+                    # than risk divergent replay from partial determinants.
+                    try:
+                        stored.verify(owner=f"{name}:{vertex.name}")
+                    except IntegrityError as exc:
+                        jm.integrity.record_failure(
+                            exc.artifact, exc.name, str(exc)
+                        )
+                        jm.recovery_events.append(
+                            (self.env.now, "integrity:determinant-log", name)
+                        )
+                        raise
+                    jm.integrity.record_ok("determinant-log")
                 bundles.append(stored)
                 total_bytes += stored.size_bytes()
         yield self.env.timeout(

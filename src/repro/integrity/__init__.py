@@ -1,0 +1,20 @@
+"""repro.integrity: end-to-end artifact integrity for the recovery protocol.
+
+Content fingerprints over every persisted/replayed recovery artifact
+(checkpoints, DFS blobs, standby images, spilled in-flight segments,
+determinant logs), verified on read/install with a structured
+:class:`~repro.errors.IntegrityError`, plus the audit sweep behind the
+``repro audit`` CLI verb.
+
+This package ``__init__`` deliberately re-exports only the dependency-free
+leaves (``fingerprint``, ``IntegrityMonitor``): the state/core/runtime
+layers import them at module load, so anything heavier here would create an
+import cycle.  The corruption helpers, the audit sweep, and the Hypothesis
+soak live in :mod:`repro.integrity.corruption`, :mod:`repro.integrity.audit`
+and :mod:`repro.integrity.soak` and are imported by full path.
+"""
+
+from repro.integrity.fingerprint import combine, fingerprint
+from repro.integrity.monitor import ARTIFACT_KINDS, IntegrityMonitor
+
+__all__ = ["ARTIFACT_KINDS", "IntegrityMonitor", "combine", "fingerprint"]

@@ -1,0 +1,115 @@
+"""Deterministic content fingerprints for recovery artifacts.
+
+Every artifact the recovery protocol reads back — task snapshots, spilled
+in-flight segments, determinant-log deltas, standby state images — carries a
+CRC computed over a *canonical* digest of its payload.  "Canonical" is the
+load-bearing word: the byte stream fed to the CRC is independent of dict
+insertion order, set iteration order, and object identity, so the same
+logical state always produces the same fingerprint, and any out-of-band
+mutation (the silent corruptions ``repro.chaos`` injects) produces a
+different one.
+
+This is the simulation's stand-in for the per-chunk checksums a real
+checkpoint stack stores next to its blobs; it is pure stdlib (``zlib.crc32``
+over a deterministic value walk) and deliberately does *not* reuse
+``repro.net.serialization.payload_size``, which models byte counts, not
+content.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+
+__all__ = ["fingerprint", "combine"]
+
+
+def _crc(data: bytes, crc: int = 0) -> int:
+    return zlib.crc32(data, crc) & 0xFFFFFFFF
+
+
+def combine(crc: int, part: int) -> int:
+    """Fold one 32-bit part into a rolling fingerprint (order-sensitive)."""
+    return _crc(part.to_bytes(4, "big"), crc)
+
+
+def _scalar_bytes(value):
+    if value is None:
+        return b"N"
+    if value is True:
+        return b"T"
+    if value is False:
+        return b"F"
+    if isinstance(value, int):
+        return b"i" + str(value).encode()
+    if isinstance(value, float):
+        return b"f" + repr(value).encode()
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8", "surrogatepass")
+    if isinstance(value, (bytes, bytearray)):
+        return b"b" + bytes(value)
+    return None
+
+
+def _all_slots(cls) -> list:
+    names = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(slots)
+    return names
+
+
+def fingerprint(value) -> int:
+    """Deterministic 32-bit digest of an arbitrary artifact payload.
+
+    Dicts are digested as their item set sorted by key digest and sets as
+    their sorted element digests, so the fingerprint is invariant under
+    insertion/iteration order; sequences are order-sensitive.  Objects are
+    digested by type name plus their ``__dict__``/``__slots__`` state;
+    state-less objects (functions, modules, pools) hash to their type name
+    only, which keeps the walk from escaping into the simulation graph.
+    """
+    return _fp(value, ())
+
+
+def _fp(value, stack) -> int:
+    scalar = _scalar_bytes(value)
+    if scalar is not None:
+        return _crc(scalar)
+    vid = id(value)
+    if vid in stack:  # cycle guard: digest the back-edge, do not recurse
+        return _crc(b"cycle")
+    stack = stack + (vid,)
+    if isinstance(value, (list, tuple, deque)):
+        crc = _crc(b"L")
+        for item in value:
+            crc = combine(crc, _fp(item, stack))
+        return crc
+    if isinstance(value, (set, frozenset)):
+        crc = _crc(b"S")
+        for part in sorted(_fp(item, stack) for item in value):
+            crc = combine(crc, part)
+        return crc
+    if isinstance(value, dict):
+        crc = _crc(b"D")
+        items = sorted(
+            (_fp(key, stack), _fp(val, stack)) for key, val in value.items()
+        )
+        for key_fp, val_fp in items:
+            crc = combine(combine(crc, key_fp), val_fp)
+        return crc
+    tag = b"O" + type(value).__name__.encode()
+    state = getattr(value, "__dict__", None)
+    if state:
+        return combine(_crc(tag), _fp(state, stack))
+    slots = _all_slots(type(value))
+    if slots:
+        crc = _crc(tag)
+        for name in sorted(set(slots)):
+            if hasattr(value, name):
+                crc = combine(crc, _crc(name.encode()))
+                crc = combine(crc, _fp(getattr(value, name), stack))
+        return crc
+    return _crc(tag)

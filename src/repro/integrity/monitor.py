@@ -1,0 +1,70 @@
+"""Per-artifact validation accounting for one job.
+
+A single :class:`IntegrityMonitor` hangs off the :class:`JobManager`; every
+verification site (checkpoint load, standby activation, spilled-segment
+read-back, determinant fetch, DFS blob read) reports its outcome here, so
+the audit CLI, the metrics collectors, and the benchmark ``extra_info`` all
+read one consistent ledger of what was checked and what failed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Artifact kinds the ledger tracks (also the ``artifact`` field of
+#: :class:`repro.errors.IntegrityError`).
+ARTIFACT_KINDS = (
+    "checkpoint",
+    "blob",
+    "standby-image",
+    "inflight-segment",
+    "determinant-log",
+)
+
+
+class IntegrityMonitor:
+    """Counts validations and failures per artifact kind.
+
+    ``validate=False`` turns the whole layer into a pass-through (the
+    control configuration the integrity soak uses to prove corruption would
+    otherwise be silent); fingerprints are still *computed* so a later
+    ``repro audit`` sweep can find what the runtime let through.
+    """
+
+    def __init__(self, validate: bool = True):
+        self.validate = validate
+        self.verified: Dict[str, int] = {kind: 0 for kind in ARTIFACT_KINDS}
+        self.failed: Dict[str, int] = {kind: 0 for kind in ARTIFACT_KINDS}
+        #: (artifact kind, artifact name, detail) per detected violation.
+        self.violations: List[Tuple[str, str, str]] = []
+
+    def record_ok(self, artifact: str) -> None:
+        self.verified[artifact] = self.verified.get(artifact, 0) + 1
+
+    def record_failure(self, artifact: str, name: str, detail: str = "") -> None:
+        self.failed[artifact] = self.failed.get(artifact, 0) + 1
+        self.violations.append((artifact, name, detail))
+
+    @property
+    def total_verified(self) -> int:
+        return sum(self.verified.values())
+
+    @property
+    def total_failed(self) -> int:
+        return sum(self.failed.values())
+
+    def summary(self) -> Dict[str, int]:
+        """Flat counter dict for metrics / benchmark ``extra_info``."""
+        out = {"validate": int(self.validate)}
+        for kind in sorted(set(self.verified) | set(self.failed)):
+            out[f"{kind}_verified"] = self.verified.get(kind, 0)
+            out[f"{kind}_failed"] = self.failed.get(kind, 0)
+        out["total_verified"] = self.total_verified
+        out["total_failed"] = self.total_failed
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"IntegrityMonitor(validate={self.validate}, "
+            f"verified={self.total_verified}, failed={self.total_failed})"
+        )

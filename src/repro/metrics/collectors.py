@@ -159,7 +159,23 @@ def recovery_summary(
             recovery_events, "standby-reprovisioned"
         ),
         "chaos_injected": count_events(recovery_events, "chaos:"),
+        "integrity_events": count_events(recovery_events, "integrity:"),
+        "epoch_fallbacks": count_events(recovery_events, "integrity:epoch-fallback"),
     }
+
+
+def integrity_summary(jm) -> dict:
+    """Per-artifact validation counters for one run: everything the
+    :class:`~repro.integrity.monitor.IntegrityMonitor` verified or flagged,
+    plus the integrity events the recovery ladder recorded (epoch fallbacks,
+    invalidated epochs, timeline rewinds).  Flat dict, benchmark
+    ``extra_info``-friendly."""
+    summary = jm.integrity.summary()
+    summary["integrity_events"] = count_events(jm.recovery_events, "integrity:")
+    summary["epoch_fallbacks"] = count_events(
+        jm.recovery_events, "integrity:epoch-fallback"
+    )
+    return summary
 
 
 def throughput_dip(

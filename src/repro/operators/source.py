@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.errors import StateError
+from repro.errors import ExternalSystemError, StateError
 from repro.external.kafka import DurableLog
 from repro.graph.elements import StreamRecord
 from repro.operators.base import Context, Operator
@@ -60,6 +60,8 @@ class KafkaSource(SourceOperator):
         self.offset = 0
         self._partition = None
         self._wm_gen = SourceWatermarkGenerator(lateness, watermark_interval)
+        #: Polls refused by a broker fault window (observability for tests).
+        self.stalled_polls = 0
 
     deterministic = False  # ingestion times / watermark points are wall-clock
 
@@ -73,6 +75,14 @@ class KafkaSource(SourceOperator):
         # not computational: it must NOT go through the causal timestamp
         # service, or replay would consume determinants per poll.
         now = ctx.now
+        try:
+            self.log.check_available(now, f"fetch {self.topic}")
+        except ExternalSystemError:
+            # Broker outage/brownout: stall without advancing the offset —
+            # consumption resumes where it left off, so nothing is lost or
+            # duplicated, exactly like a real consumer's fetch retry loop.
+            self.stalled_polls += 1
+            return [], self.log.retry_at(now)
         entries = self._partition.read(self.offset, max_records, now=now)
         records = []
         for offset, arrival, value in entries:

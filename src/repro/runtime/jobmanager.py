@@ -18,8 +18,14 @@ from repro.core.causal_log import CausalLogManager
 from repro.core.inflight_log import InFlightLog
 from repro.core.services import CausalServices, NaiveServices
 from repro.core.standby import StandbyState
-from repro.errors import ExternalSystemError, FailureInjectionError, JobError
+from repro.errors import (
+    ExternalSystemError,
+    FailureInjectionError,
+    IntegrityError,
+    JobError,
+)
 from repro.external.dfs import DistributedFileSystem
+from repro.integrity.monitor import IntegrityMonitor
 from repro.external.http import ExternalService
 from repro.graph.logical import FORWARD, JobGraph, LogicalEdge, LogicalNode
 from repro.net.buffer import BufferPool
@@ -98,8 +104,12 @@ class JobManager:
         self.external = external
         self.streams = RandomStreams(config.seed)
         self.dfs = DistributedFileSystem(env, config.cost)
+        self.integrity = IntegrityMonitor(validate=config.integrity.validate)
         self.snapshot_store = SnapshotStore(
-            self.dfs, incremental=config.incremental_checkpoints
+            self.dfs,
+            incremental=config.incremental_checkpoints,
+            retain=config.integrity.retain_checkpoints,
+            monitor=self.integrity,
         )
         self.cluster = cluster or Cluster(
             num_nodes=max(4, graph.total_tasks), slots_per_node=2
@@ -194,7 +204,11 @@ class JobManager:
                 avoid = {vertex.node_id} if self.config.clonos.standby_anti_affinity else set()
                 standby_node = self.cluster.allocate(f"standby:{vertex.name}", avoid)
                 vertex.standby = StandbyState(
-                    self.env, self.cost, vertex.name, standby_node
+                    self.env,
+                    self.cost,
+                    vertex.name,
+                    standby_node,
+                    monitor=self.integrity,
                 )
         self._checkpoint_proc = self.env.process(
             self._checkpoint_coordinator(), name="checkpoint-coordinator"
@@ -295,6 +309,7 @@ class JobManager:
                 self.config.clonos.spill_policy,
                 self.config.clonos.spill_threshold_fraction,
                 name=vertex.name,
+                monitor=self.integrity,
             ) if num_out_channels else None
             if dsd is None or dsd > 0:
                 causal = CausalLogManager(vertex.name, num_out_channels, dsd)
@@ -307,6 +322,7 @@ class JobManager:
                     self.config.clonos.spill_policy,
                     self.config.clonos.spill_threshold_fraction,
                     name=vertex.name,
+                    monitor=self.integrity,
                 )
         if causal is not None:
             services = CausalServices(
@@ -464,7 +480,10 @@ class JobManager:
         self.checkpoints_completed.append((checkpoint_id, self.env.now))
         snapshots = dict(self._snapshots_of_pending)
         self._snapshots_of_pending = {}
-        self.snapshot_store.discard_older_than(checkpoint_id)
+        # Retain-last-N subsumption GC: keep the newest N completed epochs
+        # (the multi-epoch fallback ladder's raw material), delete everything
+        # older from memory *and* the DFS so the blob footprint stays bounded.
+        self.snapshot_store.retire([cid for cid, _t in self.checkpoints_completed])
         for vertex in self.vertices.values():
             if vertex.task is not None and vertex.task.status in (
                 TaskStatus.RUNNING,
@@ -684,7 +703,9 @@ class JobManager:
                 (self.env.now, "standby-reprovision-deferred", vertex.name)
             )
             return None
-        standby = StandbyState(self.env, self.cost, vertex.name, node)
+        standby = StandbyState(
+            self.env, self.cost, vertex.name, node, monitor=self.integrity
+        )
         vertex.standby = standby
         self.recovery_events.append(
             (self.env.now, "standby-reprovisioned", vertex.name)
@@ -700,7 +721,7 @@ class JobManager:
     def _hydrate_standby(self, vertex: VertexRuntime, standby: StandbyState, cid: int):
         try:
             snapshot = yield from self.snapshot_store.load(vertex.name, cid)
-        except ExternalSystemError:
+        except (ExternalSystemError, IntegrityError):
             return  # the next completed checkpoint's dispatch will hydrate it
         if vertex.standby is standby and not standby.failed:
             yield from standby.dispatch(snapshot)

@@ -29,7 +29,7 @@ from repro.core.determinants import (
 )
 from repro.core.inflight_log import InFlightLog
 from repro.core.recovery import RecoveryManager
-from repro.errors import DeterminantLogError, RecoveryError
+from repro.errors import DeterminantLogError, IntegrityError, RecoveryError
 from repro.graph.elements import (
     CheckpointBarrier,
     EndOfStream,
@@ -692,6 +692,12 @@ class StreamTask:
                 skip_up_to_seq=delivered_seq,
                 delta_provider=delta_provider,
             )
+        except IntegrityError:
+            # A logged buffer failed its checksum: this log cannot reproduce
+            # the lost data, and replaying the corrupt copy would be silent
+            # wrong output downstream.  Degrade — the global restart
+            # regenerates the records from the sources instead.
+            self.jm.coordinator.degrade(self.name, "inflight-replay-corrupt")
         finally:
             channel.replaying = False
 

@@ -5,14 +5,22 @@ state, operator state, network (writer) state, pending timers, and watermark
 progress.  The :class:`SnapshotStore` persists snapshots on the simulated
 distributed file system, charging write/read time proportional to size, and
 supports the incremental mode of Section 6.4.
+
+Every snapshot carries a content fingerprint computed at construction
+(``repro.integrity``); the store verifies it — and the DFS blob's own
+integrity metadata — on every load, and retains the last N completed
+checkpoints so recovery can fall back to an older epoch when the newest
+artifact is corrupt, garbage-collecting everything older from the DFS.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, IntegrityError
 from repro.external.dfs import DistributedFileSystem
+from repro.integrity.fingerprint import fingerprint
+from repro.integrity.monitor import IntegrityMonitor
 from repro.net.serialization import payload_size
 
 
@@ -44,6 +52,42 @@ class TaskSnapshot:
             + payload_size(operator_state)
             + payload_size(network_state),
         )
+        #: Content fingerprint sealed at construction.  API-mediated use
+        #: never changes the payload (snapshots are immutable), so any later
+        #: mismatch means out-of-band mutation — exactly what the chaos
+        #: corruption faults simulate.
+        self.crc = self.content_crc()
+
+    def content_crc(self) -> int:
+        """Recompute the fingerprint of the payload as it is *now*."""
+        return fingerprint(
+            (
+                self.task_name,
+                self.checkpoint_id,
+                self.keyed_state,
+                self.operator_state,
+                self.network_state,
+                self.timer_state,
+                self.watermark_state,
+                self.extra,
+            )
+        )
+
+    def verify(self, artifact: str = "checkpoint") -> None:
+        """Raise :class:`IntegrityError` if the payload no longer matches
+        the fingerprint sealed at construction."""
+        actual = self.content_crc()
+        if actual != self.crc:
+            raise IntegrityError(
+                artifact,
+                f"{self.task_name}@{self.checkpoint_id}",
+                expected=self.crc,
+                actual=actual,
+            )
+
+    @property
+    def intact(self) -> bool:
+        return self.content_crc() == self.crc
 
     def __repr__(self) -> str:
         return (
@@ -53,12 +97,35 @@ class TaskSnapshot:
 
 
 class SnapshotStore:
-    """Durable checkpoint storage on the simulated DFS."""
+    """Durable checkpoint storage on the simulated DFS.
 
-    def __init__(self, dfs: DistributedFileSystem, incremental: bool = False):
+    ``retain`` bounds how many *completed* checkpoints survive subsumption
+    GC (:meth:`retire`); older snapshots are dropped from memory and their
+    blobs deleted from the DFS.  When a ``monitor`` with validation enabled
+    is attached, every :meth:`load` verifies both the DFS blob metadata and
+    the snapshot payload fingerprint.
+    """
+
+    def __init__(
+        self,
+        dfs: DistributedFileSystem,
+        incremental: bool = False,
+        retain: Optional[int] = None,
+        monitor: Optional[IntegrityMonitor] = None,
+    ):
         self.dfs = dfs
         self.incremental = incremental
+        self.retain = retain
+        self.monitor = monitor
         self._snapshots: Dict[Tuple[str, int], TaskSnapshot] = {}
+
+    @staticmethod
+    def blob_path(task_name: str, checkpoint_id: int) -> str:
+        return f"chk/{task_name}/{checkpoint_id}"
+
+    @property
+    def _validating(self) -> bool:
+        return self.monitor is not None and self.monitor.validate
 
     def save(self, snapshot: TaskSnapshot, delta_bytes: Optional[int] = None):
         """Generator: persist a snapshot, charging DFS write time.
@@ -70,36 +137,101 @@ class SnapshotStore:
         if self.incremental and delta_bytes is not None:
             cost_bytes = min(cost_bytes, delta_bytes)
         yield from self.dfs.write(
-            f"chk/{snapshot.task_name}/{snapshot.checkpoint_id}", cost_bytes
+            self.blob_path(snapshot.task_name, snapshot.checkpoint_id),
+            cost_bytes,
+            crc=snapshot.crc,
         )
         self._snapshots[(snapshot.task_name, snapshot.checkpoint_id)] = snapshot
 
     def load(self, task_name: str, checkpoint_id: int):
         """Generator: read a snapshot back, charging DFS read time.
 
-        Returns the snapshot (via generator return value).
+        Returns the snapshot (via generator return value).  With validation
+        on, a torn blob, a blob whose content drifted from its declared
+        fingerprint, or a payload failing its own fingerprint check raises
+        :class:`IntegrityError` instead of silently restoring wrong state.
         """
         snapshot = self._snapshots.get((task_name, checkpoint_id))
         if snapshot is None:
             raise CheckpointError(
                 f"no snapshot for task {task_name!r} at checkpoint {checkpoint_id}"
             )
-        yield from self.dfs.read(
-            f"chk/{task_name}/{checkpoint_id}", snapshot.size_bytes
-        )
+        validating = self._validating
+        path = self.blob_path(task_name, checkpoint_id)
+        try:
+            yield from self.dfs.read(path, snapshot.size_bytes, validate=validating)
+            if validating:
+                snapshot.verify()
+        except IntegrityError as exc:
+            if self.monitor is not None:
+                self.monitor.record_failure(exc.artifact, exc.name, str(exc))
+            raise
+        if validating:
+            self.monitor.record_ok("checkpoint")
         return snapshot
 
     def get(self, task_name: str, checkpoint_id: int) -> Optional[TaskSnapshot]:
         """Metadata peek without charging I/O time."""
         return self._snapshots.get((task_name, checkpoint_id))
 
+    def peek_valid(self, task_name: str, checkpoint_id: int) -> bool:
+        """Metadata-only validity probe (no I/O time): does this snapshot
+        exist and would a validating load succeed?  Used by the global
+        fallback to pick the newest epoch that passes validation before
+        committing every task to restoring it."""
+        snapshot = self._snapshots.get((task_name, checkpoint_id))
+        if snapshot is None:
+            return False
+        record = self.dfs.blob_record(self.blob_path(task_name, checkpoint_id))
+        if record is None or not record.intact:
+            return False
+        return snapshot.intact
+
     def latest_id(self, task_name: str) -> Optional[int]:
         ids = [cid for (name, cid) in self._snapshots if name == task_name]
         return max(ids) if ids else None
 
+    def retained_ids(self, task_name: str) -> List[int]:
+        return sorted(cid for (name, cid) in self._snapshots if name == task_name)
+
     def discard_older_than(self, checkpoint_id: int) -> int:
-        """Drop snapshots of earlier checkpoints; returns how many."""
+        """Drop snapshots of earlier checkpoints (memory *and* DFS blob);
+        returns how many."""
         stale = [key for key in self._snapshots if key[1] < checkpoint_id]
         for key in stale:
             del self._snapshots[key]
+            self.dfs.delete(self.blob_path(*key))
+        return len(stale)
+
+    def discard_newer_than(self, checkpoint_id: int) -> int:
+        """Drop snapshots of *later* checkpoints (memory and DFS blob).
+
+        Used when the global fallback commits to an older epoch: everything
+        newer belongs to the abandoned timeline, and a later local recovery
+        restoring from it would mix epochs across the job."""
+        stale = [key for key in self._snapshots if key[1] > checkpoint_id]
+        for key in stale:
+            del self._snapshots[key]
+            self.dfs.delete(self.blob_path(*key))
+        return len(stale)
+
+    def retire(self, completed_ids: Iterable[int]) -> int:
+        """Subsumption GC after a checkpoint completes.
+
+        Keeps the newest ``retain`` completed checkpoints (all of them when
+        ``retain`` is None) plus anything newer than the last completed one
+        (an upload in progress); everything else is dropped from memory and
+        deleted from the DFS.  Returns how many snapshots were collected.
+        """
+        completed = sorted(completed_ids)
+        if not completed:
+            return 0
+        keep = set(completed if self.retain is None else completed[-self.retain:])
+        newest = completed[-1]
+        stale = [
+            key for key in self._snapshots if key[1] not in keep and key[1] <= newest
+        ]
+        for key in stale:
+            del self._snapshots[key]
+            self.dfs.delete(self.blob_path(*key))
         return len(stale)

@@ -82,3 +82,44 @@ def bad_ambient(record, ctx):
 
 def suppressed_wall_clock(record, ctx):
     ctx.collect((record.value, time.time()))  # ndlint: disable=wall-clock
+
+
+class BadSnapshotKeys:
+    """ND107: persists a hash-ordered projection of its keyed state, so the
+    same logical state serializes (and fingerprints) differently per run."""
+
+    def __init__(self):
+        self.seen = {}
+
+    def process(self, record, ctx):
+        self.seen[record.value] = True
+        ctx.collect(record.value)
+
+    def snapshot(self):
+        return {"seen": set(self.seen)}
+
+    def restore(self, state):
+        self.seen = dict.fromkeys(state["seen"], True)
+
+
+class BadDigestWriter:
+    """ND107 twice over: a hash() of a frozenset, both process-dependent."""
+
+    def __init__(self):
+        self.channels = []
+
+    def snapshot_state(self):
+        return {"digest": hash(frozenset(self.channels))}
+
+
+class GoodSnapshotKeys:
+    """The ND107 remediation: persist a sorted projection."""
+
+    def __init__(self):
+        self.seen = {}
+
+    def snapshot(self):
+        return {"seen": sorted(set(self.seen))}
+
+    def restore(self, state):
+        self.seen = dict.fromkeys(state["seen"], True)

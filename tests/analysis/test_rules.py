@@ -76,6 +76,38 @@ def test_inline_suppression():
     assert report.ok(strict=True)
 
 
+def test_nondet_serialization_flagged():
+    report = lint_callable(
+        fx.BadSnapshotKeys.snapshot, target="BadSnapshotKeys.snapshot"
+    )
+    assert rule_ids(report) == {"ND107"}
+    (finding,) = report.findings
+    assert finding.rule.severity == "warning"
+    assert "hash" in finding.message
+
+
+def test_nondet_serialization_hash_digest_flagged():
+    report = lint_callable(fx.BadDigestWriter.snapshot_state)
+    assert rule_ids(report) == {"ND107"}
+    assert len(report.findings) == 2  # hash() and frozenset()
+
+
+def test_sorted_projection_in_snapshot_passes():
+    assert lint_callable(fx.GoodSnapshotKeys.snapshot).findings == []
+
+
+def test_sets_outside_snapshot_methods_are_not_nd107():
+    # bad_unordered builds a set in process logic: ND104's business, not ND107's.
+    assert "ND107" not in rule_ids(lint_callable(fx.bad_unordered))
+
+
+def test_nd107_reached_from_operator_class():
+    from repro.analysis.engine import resolve_callables
+
+    targets = dict(resolve_callables(fx.BadSnapshotKeys, "op"))
+    assert any(t.endswith("BadSnapshotKeys.snapshot") for t in targets)
+
+
 def test_report_strictness():
     warn_only = lint_callable(fx.bad_unordered)
     assert warn_only.ok() and not warn_only.ok(strict=True)

@@ -1,0 +1,79 @@
+"""Properties of the canonical content fingerprint: same logical state →
+same digest (regardless of insertion/iteration order), any payload change →
+different digest."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.integrity.fingerprint import combine, fingerprint
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(),
+    st.binary(),
+)
+
+
+def test_scalars_are_type_tagged():
+    # 1 vs True vs "1" vs 1.0 must not collide via stringification.
+    digests = {fingerprint(v) for v in (1, True, "1", 1.0, b"1", None)}
+    assert len(digests) == 6
+
+
+def test_dict_insertion_order_is_canonicalised():
+    a = {"x": 1, "y": 2, "z": [3, 4]}
+    b = {"z": [3, 4], "y": 2, "x": 1}
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_set_iteration_order_is_canonicalised():
+    assert fingerprint({"a", "b", "c"}) == fingerprint({"c", "a", "b"})
+
+
+def test_sequences_are_order_sensitive():
+    assert fingerprint([1, 2, 3]) != fingerprint([3, 2, 1])
+    assert combine(combine(0, 1), 2) != combine(combine(0, 2), 1)
+
+
+def test_objects_digest_their_state():
+    class Thing:
+        def __init__(self, value):
+            self.value = value
+
+    assert fingerprint(Thing(1)) == fingerprint(Thing(1))
+    assert fingerprint(Thing(1)) != fingerprint(Thing(2))
+
+
+def test_slots_objects_digest_their_state():
+    class Slotted:
+        __slots__ = ("a", "b")
+
+        def __init__(self, a, b):
+            self.a = a
+            self.b = b
+
+    assert fingerprint(Slotted(1, "x")) == fingerprint(Slotted(1, "x"))
+    assert fingerprint(Slotted(1, "x")) != fingerprint(Slotted(2, "x"))
+
+
+def test_cycles_do_not_recurse():
+    loop = {}
+    loop["self"] = loop
+    assert isinstance(fingerprint(loop), int)
+
+
+@given(st.dictionaries(st.text(), scalars, min_size=1))
+def test_fingerprint_is_insertion_order_invariant(payload):
+    shuffled = dict(reversed(list(payload.items())))
+    assert fingerprint(payload) == fingerprint(shuffled)
+
+
+@given(st.dictionaries(st.text(), st.integers(), min_size=1))
+def test_fingerprint_detects_single_value_change(payload):
+    key = sorted(payload)[0]
+    tampered = dict(payload)
+    tampered[key] = payload[key] + 1
+    assert fingerprint(payload) != fingerprint(tampered)

@@ -1,0 +1,102 @@
+"""The integrity-soak property: **corruption is never silent**.
+
+Every seeded corruption run (silent blob corruption, torn writes, in-flight
+bit-flips, truncated determinant replicas, each paired with kills that force
+recovery to read the damage) must end exactly-once or with an announced
+``degraded:global_rollback`` — never silent loss, duplication, or a hang
+(``run_until_done`` raises on the deadline, which Hypothesis reports with
+the offending seed).  The control arm (``validate=False``) proves the layer
+is load-bearing: the same plan then produces a silent violation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.plan import CORRUPTION_KINDS, random_plan
+from repro.integrity.soak import run_integrity_experiment
+
+LIMIT = 120.0
+
+#: A seed whose plan corrupts a stored source checkpoint that recovery then
+#: restores: with validation off the run silently loses records (the control
+#: violation); with validation on the ladder falls back to an older epoch.
+CONTROL_SEED = 5
+
+
+def describe(result):
+    return (
+        f"seed {result.seed}: verdict={result.verdict} "
+        f"missing={result.chaos.missing} duplicated={result.chaos.duplicated} "
+        f"injected={result.corruptions_injected} detected={result.detected} "
+        f"summary={result.integrity_summary}"
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=8, deadline=None)
+def test_corruption_is_detected_or_announced_never_silent(seed):
+    result = run_integrity_experiment(seed, limit=LIMIT)
+    assert result.ok, describe(result)
+    assert result.chaos.duration < LIMIT
+    if result.verdict != "exactly-once":
+        # Degradation is only acceptable when announced.
+        assert result.chaos.degradations, describe(result)
+
+
+def test_validation_disabled_is_demonstrably_silent():
+    # The control arm: identical plan, checksums exist but nothing checks
+    # them — the corrupted restore flows through and records are lost with
+    # no announced degradation.  This is the wrong output the soak verdict
+    # exists to catch.
+    control = run_integrity_experiment(CONTROL_SEED, validate=False, limit=LIMIT)
+    assert control.verdict == "violation", describe(control)
+    assert control.chaos.missing > 0
+
+    validated = run_integrity_experiment(CONTROL_SEED, validate=True, limit=LIMIT)
+    assert validated.ok, describe(validated)
+    assert validated.detected > 0, describe(validated)
+
+
+def test_epoch_fallback_rewinds_the_timeline():
+    # End-to-end multi-epoch fallback on the control seed: the newest epoch
+    # fails validation, the ladder commits the job to the newest *older*
+    # epoch that passes, and the abandoned timeline is discarded so later
+    # local recoveries cannot resurrect it.
+    result = run_integrity_experiment(CONTROL_SEED, limit=LIMIT)
+    kinds = [kind for (_t, kind, _w) in result.chaos.recovery_events]
+    assert any(k.startswith("integrity:epoch-invalid") for k in kinds), kinds
+    assert any(k.startswith("integrity:epoch-fallback") for k in kinds), kinds
+    assert any(k.startswith("integrity:timeline-rewind") for k in kinds), kinds
+    assert result.verdict == "degraded:global_rollback", describe(result)
+    assert result.chaos.missing == 0, "degraded still means at-least-once"
+
+
+class TestCorruptionPlans:
+    TASKS = ["source[0]", "stage1[0]", "sink[0]"]
+
+    def test_corruption_kinds_stay_out_of_the_default_palette(self):
+        # Existing chaos seeds must keep producing the exact same plans.
+        for seed in range(10):
+            plan = random_plan(seed, 1.0, task_names=self.TASKS, max_faults=5)
+            assert not set(plan.kinds()) & CORRUPTION_KINDS
+
+    def test_corruption_plans_pair_damage_with_kills(self):
+        plan = random_plan(
+            3, 1.0, task_names=self.TASKS, max_faults=3,
+            kinds=sorted(CORRUPTION_KINDS),
+        )
+        kinds = [spec.kind for spec in plan.specs]
+        assert set(kinds) & CORRUPTION_KINDS, kinds
+        # Every corruption plan forces a recovery to read the damage.
+        assert "task_kill" in kinds, kinds
+
+    def test_corruption_injection_is_biased_late(self):
+        # Artifacts must exist before they can be damaged: corruption never
+        # lands in the first 30% of the horizon.
+        for seed in range(20):
+            plan = random_plan(
+                seed, 1.0, task_names=self.TASKS, max_faults=2,
+                kinds=sorted(CORRUPTION_KINDS),
+            )
+            for spec in plan.specs:
+                if spec.kind in CORRUPTION_KINDS:
+                    assert spec.at >= 0.3, (seed, spec)

@@ -137,8 +137,18 @@ class TestCheckpointLifecycle:
         latest = jm.completed_checkpoint
         assert latest >= 2
         assert store.get("mid[0]", latest) is not None
+        # Retain-last-N: the newest N completed epochs survive (the
+        # multi-epoch fallback's raw material); everything older is GC'd
+        # from memory and its blob deleted from the DFS.
+        kept = [cid for cid, _t in jm.checkpoints_completed][
+            -jm.config.integrity.retain_checkpoints:
+        ]
         for old in range(1, latest):
-            assert store.get("mid[0]", old) is None
+            if old in kept:
+                assert store.get("mid[0]", old) is not None
+            else:
+                assert store.get("mid[0]", old) is None
+                assert not jm.dfs.exists(f"chk/mid[0]/{old}")
 
     def test_checkpoints_pause_during_recovery(self):
         env, jm = self.build(checkpoint_interval=0.3)
