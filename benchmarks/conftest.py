@@ -146,6 +146,18 @@ def run_once(benchmark, fn, *args, **kwargs):
     return result
 
 
+def attach_recovery_phases(benchmark, runs):
+    """Record each arm's per-phase recovery breakdown (from ``repro.trace``)
+    in ``extra_info``, so the saved benchmark JSON carries the protocol-phase
+    decomposition next to the end-to-end recovery time it sums to."""
+    from repro.trace import breakdown_extra_info
+
+    for label in sorted(runs):
+        benchmark.extra_info[f"recovery_phases_{label}"] = breakdown_extra_info(
+            runs[label].result
+        )
+
+
 @pytest.fixture
 def once(benchmark):
     def runner(fn, *args, **kwargs):

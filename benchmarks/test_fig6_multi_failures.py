@@ -15,6 +15,8 @@ Findings to match in shape:
 from repro.harness.figures import fig6_multi_failures
 from repro.harness.reporters import render_series, render_table
 
+from benchmarks.conftest import attach_recovery_phases
+
 PARAMS = dict(
     depth=5,
     parallelism=5,
@@ -75,14 +77,16 @@ def check_common(runs):
     assert recovered["stage1[0]"] <= recovered["stage2[0]"] <= recovered["stage3[0]"]
 
 
-def test_fig6c_g_staggered_failures(once):
+def test_fig6c_g_staggered_failures(once, benchmark):
     runs = once(fig6_multi_failures, concurrent=False, **PARAMS)
+    attach_recovery_phases(benchmark, runs)
     report("Figure 6c/6g: three staggered failures (5s apart)", runs)
     check_common(runs)
 
 
-def test_fig6d_h_concurrent_failures(once):
+def test_fig6d_h_concurrent_failures(once, benchmark):
     runs = once(fig6_multi_failures, concurrent=True, **PARAMS)
+    attach_recovery_phases(benchmark, runs)
     report("Figure 6d/6h: three concurrent failures", runs)
     check_common(runs)
 

@@ -12,9 +12,11 @@ Paper findings to match in shape:
 from repro.harness.figures import fig6_single_failure
 from repro.harness.reporters import render_series, render_table
 
+from benchmarks.conftest import attach_recovery_phases
 
-def run_query_failure(once, query, victim, kill_at=4.0):
-    return once(
+
+def run_query_failure(once, query, victim, kill_at=4.0, benchmark=None):
+    runs = once(
         fig6_single_failure,
         query=query,
         victim=victim,
@@ -23,6 +25,9 @@ def run_query_failure(once, query, victim, kill_at=4.0):
         kill_at=kill_at,
         checkpoint_interval=2.0,
     )
+    if benchmark is not None:
+        attach_recovery_phases(benchmark, runs)
+    return runs
 
 
 def report(query, runs):
@@ -51,8 +56,8 @@ def report(query, runs):
     print(render_series(f"{query} flink output rate", runs["flink"].throughput_series()))
 
 
-def test_fig6a_e_q3_single_failure(once):
-    runs = run_query_failure(once, "Q3", "join[0]")
+def test_fig6a_e_q3_single_failure(once, benchmark):
+    runs = run_query_failure(once, "Q3", "join[0]", benchmark=benchmark)
     report("Q3", runs)
     clonos, flink = runs["clonos"].recovery_time, runs["flink"].recovery_time
     assert clonos is not None and flink is not None
@@ -64,8 +69,8 @@ def test_fig6a_e_q3_single_failure(once):
     assert flink > 6.0
 
 
-def test_fig6b_f_q8_single_failure(once):
-    runs = run_query_failure(once, "Q8", "join[0]")
+def test_fig6b_f_q8_single_failure(once, benchmark):
+    runs = run_query_failure(once, "Q8", "join[0]", benchmark=benchmark)
     report("Q8", runs)
     clonos, flink = runs["clonos"].recovery_time, runs["flink"].recovery_time
     assert clonos is not None and flink is not None
@@ -74,8 +79,8 @@ def test_fig6b_f_q8_single_failure(once):
     assert clonos < flink / 5.0
 
 
-def test_fig6e_throughput_barely_dips_for_clonos(once):
-    runs = run_query_failure(once, "Q3", "join[0]")
+def test_fig6e_throughput_barely_dips_for_clonos(once, benchmark):
+    runs = run_query_failure(once, "Q3", "join[0]", benchmark=benchmark)
     # Clonos: records keep flowing through the surviving join subtask the
     # whole time; Flink: complete downtime while the graph restarts.
     _base_c, worst_clonos = runs["clonos"].result.throughput_dip_after(0)

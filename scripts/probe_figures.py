@@ -20,12 +20,20 @@ if which == "fig5":
             f"full={r.rel_full:.3f}"
         )
 elif which == "fig6":
+    from repro.trace import breakdown_extra_info
+
     runs = fig6_single_failure(
         query="Q3", events_per_partition=12000, kill_at=3.0, checkpoint_interval=1.5
     )
     for label, run in runs.items():
         print(label, "recovery_time:", run.recovery_time,
               "outputs:", len(run.result.output_values()))
+        info = breakdown_extra_info(run.result)
+        print(f"  incidents={info['incidents']} retries={info['retries']} "
+              f"end_to_end={info['end_to_end_s']}s "
+              f"(end: {', '.join(info.get('end_sources', []))})")
+        for phase, seconds in info["phases"].items():
+            print(f"    {phase:<22s} {seconds:.4f}s")
 elif which == "table1":
     for cell in table1_assumptions(n_records=2500):
         print(

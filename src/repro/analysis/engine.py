@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.analysis.report import Finding, LintReport, suppresses
-from repro.analysis.rules import RawFinding, scan
+from repro.analysis.rules import RawFinding, allowlisted_calls, scan
 
 #: repro-internal modules whose callables are deterministic by construction
 #: (all their nondeterminism already flows through Services); skipping them
@@ -48,6 +48,7 @@ TRUSTED_PREFIXES = (
     "repro.config",
     "repro.errors",
     "repro.analysis",
+    "repro.trace",
 )
 
 #: How many hops of closures/globals to chase from a factory.
@@ -231,7 +232,12 @@ def lint_graph(graph) -> LintReport:
 
 
 def lint_file(path) -> LintReport:
-    """Whole-module sweep: every statement in ``path`` (UDFs and drivers)."""
+    """Whole-module sweep: every statement in ``path`` (UDFs and drivers).
+
+    Framework files carrying a documented exemption (see
+    :data:`repro.analysis.rules.FRAMEWORK_ALLOWLIST`) have exactly those
+    sanctioned calls excluded; everything else is linted as usual.
+    """
     path = str(path)
     report = LintReport(subject=path)
     parsed = _module_source(path)
@@ -239,6 +245,6 @@ def lint_file(path) -> LintReport:
         report.unresolved.append(path)
         return report
     tree, lines = parsed
-    raw = scan(tree, freevars=())
+    raw = scan(tree, freevars=(), allowed=allowlisted_calls(path))
     report.extend(_findings_for(raw, path, lines, 0, target=""))
     return report

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 SEV_ERROR = "error"
 SEV_WARNING = "warning"
@@ -180,6 +180,28 @@ _AMBIENT_CALLS = frozenset(
 #: Calls whose results have no deterministic order.
 _UNORDERED_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
 
+#: Framework-internal allowlist: path suffixes of *framework* modules whose
+#: documented use of an otherwise-flagged call is sanctioned.  The sim
+#: profiler reads ``time.perf_counter_ns`` to attribute wall-clock self-time
+#: to sim processes; the readings never reach dataflow logic, the event bus,
+#: or any deterministic export, so they cannot make a pipeline diverge.
+#: User operator code never matches these paths — the exemption cannot leak
+#: into lint results for pipelines.
+FRAMEWORK_ALLOWLIST: Dict[str, FrozenSet[str]] = {
+    "repro/trace/profiler.py": frozenset(
+        {"time.perf_counter", "time.perf_counter_ns"}
+    ),
+}
+
+
+def allowlisted_calls(path) -> FrozenSet[str]:
+    """Sanctioned call names for ``path`` (empty for non-framework files)."""
+    normalized = str(path).replace("\\", "/")
+    for suffix, calls in FRAMEWORK_ALLOWLIST.items():
+        if normalized.endswith(suffix):
+            return calls
+    return frozenset()
+
 #: Method names that build the state image a checkpoint persists.  Hash-order
 #: values constructed inside them feed the integrity layer's content
 #: fingerprint (repro.integrity.fingerprint), which canonicalises dict/set
@@ -256,8 +278,12 @@ class RuleVisitor(ast.NodeVisitor):
     built there end up inside persisted, fingerprinted state.
     """
 
-    def __init__(self, freevars: Iterable[str] = ()):
+    def __init__(
+        self, freevars: Iterable[str] = (), allowed: Iterable[str] = ()
+    ):
         self.freevars = frozenset(freevars)
+        #: Framework-sanctioned call names (see :data:`FRAMEWORK_ALLOWLIST`).
+        self.allowed = frozenset(allowed)
         self.findings: List[RawFinding] = []
         self._sanctioned = 0
         self._in_snapshot = 0
@@ -331,6 +357,8 @@ class RuleVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _check_call_name(self, name: str, node: ast.Call) -> None:
+        if self.allowed and _matches(name, self.allowed):
+            return
         if _matches(name, _WALL_CLOCK_CALLS):
             self._flag(WALL_CLOCK, node, f"direct wall-clock call {name}()")
         elif _prefixed(name, _RNG_PREFIXES) or _matches(name, _RNG_CALLS):
@@ -461,8 +489,16 @@ class RuleVisitor(ast.NodeVisitor):
         super().generic_visit(node)
 
 
-def scan(tree: ast.AST, freevars: Iterable[str] = ()) -> List[RawFinding]:
-    """Run every rule over ``tree``; returns findings in source order."""
-    visitor = RuleVisitor(freevars)
+def scan(
+    tree: ast.AST,
+    freevars: Iterable[str] = (),
+    allowed: Iterable[str] = (),
+) -> List[RawFinding]:
+    """Run every rule over ``tree``; returns findings in source order.
+
+    ``allowed`` names framework-sanctioned calls (from
+    :func:`allowlisted_calls`) that are exempt from the call-site rules.
+    """
+    visitor = RuleVisitor(freevars, allowed=allowed)
     visitor.visit(tree)
     return sorted(visitor.findings, key=lambda f: (f.lineno, f.col))

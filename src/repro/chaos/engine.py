@@ -135,6 +135,7 @@ class ChaosEngine:
         self.jm.recovery_events.append(
             (self.env.now, f"chaos:{spec.kind}", target)
         )
+        self.jm.trace.emit(self.env.now, "chaos-fault", target, fault=spec.kind)
 
     def _skip(self, spec: FaultSpec, reason: str) -> None:
         self.skipped.append((self.env.now, spec.kind, spec.target, reason))

@@ -3,6 +3,7 @@
     python -m repro fig5 [--queries Q1,Q5] [--events 6000]
     python -m repro fig6-single [--query Q3] [--victim 'join[0]']
     python -m repro fig6-multi [--concurrent]
+    python -m repro trace [--mode clonos|flink|both] [--out DIR] [--check]
     python -m repro memory
     python -m repro table1
     python -m repro lint [all | q5 | examples | path/to/file.py ...] [--strict]
@@ -20,6 +21,10 @@ protocol").  ``audit`` sweeps every stored artifact and verifies its
 content fingerprint — clean sweep exits 0; ``--inject K`` self-tests the
 sweep against seeded corruption; ``--soak`` runs corruption fault plans
 against the validated recovery ladder (see README, "Artifact integrity").
+``trace`` records a fig6-style failure run on the causal event bus, exports
+JSONL + Chrome-trace/Perfetto JSON, and prints each recovery incident's
+per-phase breakdown plus the sim profiler's wall-clock hot spots (see
+README, "Observability").
 """
 
 from __future__ import annotations
@@ -109,6 +114,131 @@ def _cmd_fig6_multi(args) -> int:
             f"{recovery:.2f}s" if recovery is not None else "n/a",
         )
         print(render_series("output rate", run.throughput_series()))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Record a fig6-style failure run with tracing, export, summarize."""
+    from repro.metrics.collectors import recovery_time
+    from repro.trace import (
+        merge_profiles,
+        profiling,
+        timeline_of,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.trace.export import chrome_trace
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    wanted = ("clonos", "flink") if args.mode == "both" else (args.mode,)
+    if args.profile:
+        with profiling() as profilers:
+            runs = fig6_single_failure(
+                query=args.query,
+                victim=args.victim,
+                events_per_partition=args.events,
+                rate=args.rate,
+                kill_at=args.kill_at,
+                checkpoint_interval=args.checkpoint_interval,
+            )
+    else:
+        profilers = []
+        runs = fig6_single_failure(
+            query=args.query,
+            victim=args.victim,
+            events_per_partition=args.events,
+            rate=args.rate,
+            kill_at=args.kill_at,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+
+    failures = []
+    for label in wanted:
+        run = runs[label]
+        timeline = timeline_of(run.result)
+        trace = run.result.jm.trace
+        document = chrome_trace(
+            trace,
+            timeline,
+            job_name=f"fig6-{args.query}-{label}",
+            extra_metadata={
+                "query": args.query,
+                "mode": label,
+                "victim": args.victim,
+                "kill_at": args.kill_at,
+            },
+        )
+        stem = f"fig6-{args.query}-{label}"
+        jsonl_path = write_jsonl(out_dir / f"{stem}.jsonl", trace)
+        chrome_path = write_chrome_trace(out_dir / f"{stem}.chrome.json", document)
+        problems = validate_chrome_trace(document)
+        if problems:
+            failures.append(f"{label}: invalid Chrome trace: {problems[:3]}")
+
+        measured = recovery_time(run.result.latencies, run.failure_time)
+        print(f"\n=== {label} ===")
+        print(f"events: {len(trace)}  exported: {jsonl_path}, {chrome_path}")
+        print(
+            "metrics.collectors recovery time:",
+            f"{measured:.3f}s" if measured is not None else "n/a",
+        )
+        for incident in timeline.incidents:
+            totals = incident.phase_totals()
+            print(
+                f"incident {incident.index}: victim={incident.victim} "
+                f"failed at {incident.failure_time:.2f}s, end-to-end "
+                f"{incident.end_to_end:.3f}s ({incident.end_source}), "
+                f"{incident.named_phase_count()} named phases, "
+                f"retries={incident.retries}"
+            )
+            print(
+                render_table(
+                    ["phase", "seconds", "share"],
+                    [
+                        (
+                            name,
+                            f"{dur:.4f}",
+                            f"{dur / incident.end_to_end * 100.0:.1f}%"
+                            if incident.end_to_end > 0
+                            else "-",
+                        )
+                        for name, dur in totals.items()
+                    ],
+                )
+            )
+            if args.check:
+                if incident.named_phase_count() < 5:
+                    failures.append(
+                        f"{label}: incident {incident.index} has only "
+                        f"{incident.named_phase_count()} named phases"
+                    )
+                if (
+                    incident.end_source == "latency-envelope"
+                    and measured is not None
+                    and measured > 0
+                    and abs(incident.phase_sum() - measured) > 0.01 * measured
+                ):
+                    failures.append(
+                        f"{label}: incident {incident.index} phase sum "
+                        f"{incident.phase_sum():.4f}s deviates >1% from "
+                        f"measured recovery {measured:.4f}s"
+                    )
+        if args.check and not timeline.incidents:
+            failures.append(f"{label}: no recovery incidents reconstructed")
+
+    if profilers:
+        print()
+        print(merge_profiles(profilers).report(top=args.top))
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("\ntrace check: OK")
     return 0
 
 
@@ -487,6 +617,33 @@ def build_parser() -> argparse.ArgumentParser:
     p6m = sub.add_parser("fig6-multi", help="multiple/concurrent failures")
     p6m.add_argument("--concurrent", action="store_true")
     p6m.set_defaults(fn=_cmd_fig6_multi)
+
+    ptr = sub.add_parser(
+        "trace",
+        help="record a fig6-style failure run with causal tracing; export "
+             "JSONL + Chrome-trace JSON and print the per-phase breakdown",
+    )
+    ptr.add_argument("--query", default="Q3", choices=("Q3", "Q8"))
+    ptr.add_argument("--victim", default="join[0]")
+    ptr.add_argument("--events", type=int, default=36000)
+    ptr.add_argument("--rate", type=float, default=6000.0)
+    ptr.add_argument("--kill-at", type=float, default=4.0, dest="kill_at")
+    ptr.add_argument("--checkpoint-interval", type=float, default=2.0,
+                     dest="checkpoint_interval")
+    ptr.add_argument("--mode", default="clonos",
+                     choices=("clonos", "flink", "both"),
+                     help="which arm(s) to export (default clonos)")
+    ptr.add_argument("--out", default="trace_out",
+                     help="output directory for exported traces")
+    ptr.add_argument("--no-profile", dest="profile", action="store_false",
+                     help="skip the wall-clock sim profiler")
+    ptr.add_argument("--top", type=int, default=10,
+                     help="profiler rows to print (default 10)")
+    ptr.add_argument("--check", action="store_true",
+                     help="exit 1 unless every incident has >=5 named phases "
+                          "whose durations sum to within 1%% of the measured "
+                          "recovery time")
+    ptr.set_defaults(fn=_cmd_trace)
 
     pm = sub.add_parser("memory", help="spill-policy/memory study")
     pm.add_argument("--duration", type=float, default=12.0)

@@ -45,7 +45,7 @@ _VALUE_KINDS = ("timestamp", "http", "custom", "rng")
 class RecoveryManager:
     """Replays a determinant bundle; inert once (or if never) exhausted."""
 
-    def __init__(self, task_name: str):
+    def __init__(self, task_name: str, trace=None, clock=None):
         self.task_name = task_name
         self._control: Deque[Determinant] = deque()
         self._values: Dict[str, Deque[Determinant]] = {
@@ -57,6 +57,15 @@ class RecoveryManager:
         #: Statistics for the experiments.
         self.replayed_control = 0
         self.replayed_values = 0
+        #: Optional repro.trace event bus + ``() -> sim time`` clock
+        #: (passive observability only).
+        self.trace = trace
+        self.clock = clock
+        self._nondet_marked = False
+
+    def _emit(self, kind: str, **args) -> None:
+        if self.trace is not None and self.clock is not None:
+            self.trace.emit(self.clock(), kind, self.task_name, **args)
 
     @property
     def active(self) -> bool:
@@ -101,6 +110,11 @@ class RecoveryManager:
             or any(self._values[k] for k in _VALUE_KINDS)
             or any(self._queue_logs.values())
         )
+        self._emit(
+            "replay-loaded",
+            control=len(self._control),
+            values=sum(len(self._values[k]) for k in _VALUE_KINDS),
+        )
         if SANITIZER.enabled:
             # Replay-provenance accounting: everything replay may consume was
             # produced by the original run and retrieved in this bundle.
@@ -134,6 +148,12 @@ class RecoveryManager:
                 f"{self.task_name}: {kind} determinants exhausted during replay"
             )
         det = queue.popleft()
+        if not self._nondet_marked:
+            # First replayed nondeterministic value: step 5 of the protocol
+            # (value replay) begins here; order-only replay before this point
+            # is step 4 (in-flight record replay).
+            self._nondet_marked = True
+            self._emit("phase-mark", phase="nondeterminism-replay")
         if match is not None:
             actual = det.key if isinstance(det, ExternalCallDeterminant) else getattr(det, "name", None)
             if actual != match:
@@ -170,6 +190,11 @@ class RecoveryManager:
             self._values[k] for k in _VALUE_KINDS
         ):
             self._active = False
+            self._emit(
+                "replay-exhausted",
+                control=self.replayed_control,
+                values=self.replayed_values,
+            )
 
     def force_finish(self) -> None:
         """Give up on remaining determinants (divergent / at-least-once)."""

@@ -34,6 +34,7 @@ class StandbyState:
         task_name: str,
         node_id: int,
         monitor: Optional[IntegrityMonitor] = None,
+        trace=None,
     ):
         self.env = env
         self.cost = cost
@@ -42,6 +43,8 @@ class StandbyState:
         #: placement time, Section 6.3).
         self.node_id = node_id
         self.monitor = monitor
+        #: Optional repro.trace event bus (passive observability only).
+        self.trace = trace
         self.snapshot: Optional[TaskSnapshot] = None
         self._transfer_done = None  # event while a dispatch is in flight
         self.transfers_received = 0
@@ -59,6 +62,8 @@ class StandbyState:
             return
         self.failed = True
         self.snapshot = None
+        if self.trace is not None:
+            self.trace.emit(self.env.now, "standby-lost", self.task_name)
         if self._fail_event is not None:
             event, self._fail_event = self._fail_event, None
             event.succeed()
@@ -70,11 +75,25 @@ class StandbyState:
         (checkpoint coordinator) never overlaps two dispatches for one task.
         """
         self._transfer_done = self.env.event()
+        if self.trace is not None:
+            self.trace.emit(
+                self.env.now,
+                "standby-transfer-begin",
+                self.task_name,
+                checkpoint_id=snapshot.checkpoint_id,
+            )
         try:
             yield self.env.timeout(self.cost.transmission_time(snapshot.size_bytes))
             if not self.failed:
                 self.snapshot = snapshot
                 self.transfers_received += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.env.now,
+                        "standby-transfer-done",
+                        self.task_name,
+                        checkpoint_id=snapshot.checkpoint_id,
+                    )
         finally:
             done, self._transfer_done = self._transfer_done, None
             done.succeed()

@@ -81,6 +81,7 @@ class BaseCoordinator:
         jm.recovery_events.append(
             (self.env.now, "degraded:global_rollback", task_name)
         )
+        jm.trace.emit(self.env.now, "degraded", task_name, reason=reason)
         if hasattr(self, "degradations"):
             self.degradations += 1
         fallback = getattr(self, "_fallback", None)
@@ -117,18 +118,28 @@ class BaseCoordinator:
         resources)."""
         proc = self.env.process(generator, name=f"step:{label}:{vertex_name}")
         self.jm.recovery_procs.setdefault(vertex_name, []).append(proc)
+        self.jm.trace.emit(self.env.now, "phase-begin", vertex_name, phase=label)
         try:
             yield self.env.any_of([proc, self.env.timeout(deadline)])
         except ReproError:
             self.jm.recovery_events.append(
                 (self.env.now, f"step-failed:{label}", vertex_name)
             )
+            self.jm.trace.emit(
+                self.env.now, "phase-end", vertex_name, phase=label, status="error"
+            )
             return (f"{label}:error", None)
         if proc.triggered and proc.ok:
+            self.jm.trace.emit(
+                self.env.now, "phase-end", vertex_name, phase=label, status="ok"
+            )
             return ("ok", proc.value)
         proc.kill()
         self.jm.recovery_events.append(
             (self.env.now, f"step-timeout:{label}", vertex_name)
+        )
+        self.jm.trace.emit(
+            self.env.now, "phase-end", vertex_name, phase=label, status="timeout"
         )
         return (f"{label}:timeout", None)
 
@@ -181,6 +192,11 @@ class BaseCoordinator:
         handshake (Section 6.2): fresh input channels attach to the existing
         links; surviving receivers report their delivered sequence numbers
         for sender-side dedup."""
+        # Step 2 of the protocol; channel rewiring is instantaneous in the
+        # sim, so this is a named zero-width phase in the timeline.
+        self.jm.trace.emit(
+            self.env.now, "phase-mark", vertex.name, phase="network-reconfigure"
+        )
         task = self.jm._build_task(vertex)
         vertex.task = task
         for _edge, channels in vertex.out_links:
@@ -256,6 +272,8 @@ class GlobalRollbackCoordinator(BaseCoordinator):
         jm.cancel_recovery_procs()
         self.global_restarts += 1
         jm.recovery_events.append((self.env.now, "global-restart-begin", "*"))
+        jm.trace.emit(self.env.now, "global-restart-begin", "*")
+        jm.trace.emit(self.env.now, "phase-mark", "*", phase="task-cancellation")
         # Cancel every surviving task (they stop processing immediately) —
         # including tasks still mid-local-recovery: the restart supersedes
         # their replay.
@@ -268,6 +286,9 @@ class GlobalRollbackCoordinator(BaseCoordinator):
                 task.fail()
                 jm.cluster.release(vertex.name)
         yield self.env.timeout(self.cost.task_cancel_time)
+        jm.trace.emit(
+            self.env.now, "phase-mark", "*", phase="checkpoint-restore"
+        )
         # Multi-epoch fallback ladder: restore the newest epoch that passes
         # validation for *every* task (mixed-epoch restores are inconsistent,
         # so epoch selection is all-or-nothing).  If a load still trips an
@@ -334,6 +355,7 @@ class GlobalRollbackCoordinator(BaseCoordinator):
         # started early would stream into a predecessor's torn-down gate —
         # losing buffers (and advancing determinant-delta cursors past what
         # the late-attaching receiver ever saw).
+        jm.trace.emit(self.env.now, "phase-mark", "*", phase="task-restart")
         started = []
         for vertex in jm.vertices.values():
             task = jm._build_task(vertex)
@@ -353,6 +375,9 @@ class GlobalRollbackCoordinator(BaseCoordinator):
         jm.recovering_tasks.clear()
         self._restarting = False
         jm.recovery_events.append((self.env.now, "global-restart-done", "*"))
+        jm.trace.emit(
+            self.env.now, "global-restart-done", "*", epoch=cid
+        )
 
     def _select_restore_epoch(self, excluded=()) -> int:
         """The multi-epoch rung of the fallback ladder.
@@ -448,6 +473,7 @@ class ClonosCoordinator(BaseCoordinator):
                 self.jm.recovery_events.append(
                     (self.env.now, "orphan-fallback", task_name)
                 )
+                self.jm.trace.emit(self.env.now, "orphan-fallback", task_name)
                 self._fallback.on_failure_detected(task_name)
                 return
             # Favour availability: recover locally WITHOUT determinants,
@@ -475,6 +501,13 @@ class ClonosCoordinator(BaseCoordinator):
             jm.recovery_events.append(
                 (self.env.now, f"recovery-retry:{label}", vertex.name)
             )
+            jm.trace.emit(
+                self.env.now,
+                "recovery-retry",
+                vertex.name,
+                attempt=attempt + 1,
+                label=label,
+            )
             if label.startswith("checkpoint-restore") and self._latest_epoch_corrupt(
                 vertex
             ):
@@ -491,6 +524,9 @@ class ClonosCoordinator(BaseCoordinator):
         self.degradations += 1
         jm.recovery_events.append(
             (self.env.now, "degraded:global_rollback", vertex.name)
+        )
+        jm.trace.emit(
+            self.env.now, "degraded", vertex.name, reason="ladder-exhausted"
         )
         jm.recovering_tasks.discard(vertex.name)
         self._fallback.on_failure_detected(vertex.name)
@@ -620,6 +656,13 @@ class LocalReplayCoordinator(BaseCoordinator):
 
     def _recover(self, vertex):
         jm = self.jm
+        fast_path = vertex.standby is not None and vertex.standby.usable
+        jm.trace.emit(
+            self.env.now,
+            "phase-begin",
+            vertex.name,
+            phase="standby-activation" if fast_path else "checkpoint-restore",
+        )
         try:
             snapshot = yield from self._obtain_snapshot(vertex)
         except RecoveryError:
@@ -627,6 +670,9 @@ class LocalReplayCoordinator(BaseCoordinator):
             # deployment from the DFS checkpoint.
             jm.recovery_events.append(
                 (self.env.now, "recovery-retry:standby-activation:error", vertex.name)
+            )
+            jm.trace.emit(
+                self.env.now, "phase-begin", vertex.name, phase="checkpoint-restore"
             )
             snapshot = yield from self._obtain_snapshot(vertex, prefer_standby=False)
         restore_epoch = snapshot.checkpoint_id if snapshot is not None else 0
@@ -652,6 +698,7 @@ class LocalReplayCoordinator(BaseCoordinator):
         task.start(snapshot)
         jm.recovering_tasks.discard(vertex.name)
         jm.recovery_events.append((self.env.now, "recovered", vertex.name))
+        jm.trace.emit(self.env.now, "task-recovered", vertex.name)
         self._request_replays(vertex, restore_epoch)
 
 
@@ -665,11 +712,21 @@ class GapRecoveryCoordinator(BaseCoordinator):
 
     def _recover(self, vertex):
         jm = self.jm
+        fast_path = vertex.standby is not None and vertex.standby.usable
+        jm.trace.emit(
+            self.env.now,
+            "phase-begin",
+            vertex.name,
+            phase="standby-activation" if fast_path else "checkpoint-restore",
+        )
         try:
             snapshot = yield from self._obtain_snapshot(vertex)
         except RecoveryError:
             jm.recovery_events.append(
                 (self.env.now, "recovery-retry:standby-activation:error", vertex.name)
+            )
+            jm.trace.emit(
+                self.env.now, "phase-begin", vertex.name, phase="checkpoint-restore"
             )
             snapshot = yield from self._obtain_snapshot(vertex, prefer_standby=False)
         task = self._rebuild_task(vertex, snapshot)
@@ -689,3 +746,4 @@ class GapRecoveryCoordinator(BaseCoordinator):
             )
         jm.recovering_tasks.discard(vertex.name)
         jm.recovery_events.append((self.env.now, "recovered", vertex.name))
+        jm.trace.emit(self.env.now, "task-recovered", vertex.name)

@@ -37,6 +37,16 @@ class IntegrityMonitor:
         self.failed: Dict[str, int] = {kind: 0 for kind in ARTIFACT_KINDS}
         #: (artifact kind, artifact name, detail) per detected violation.
         self.violations: List[Tuple[str, str, str]] = []
+        #: Optional repro.trace event bus + sim clock (bound by JobManager);
+        #: standalone monitors (audit sweeps, tests) stay trace-less.
+        self.trace = None
+        self.clock = None
+
+    def bind_trace(self, trace, clock) -> None:
+        """Attach an event bus and a ``() -> sim time`` clock for violation
+        events (passive observability only)."""
+        self.trace = trace
+        self.clock = clock
 
     def record_ok(self, artifact: str) -> None:
         self.verified[artifact] = self.verified.get(artifact, 0) + 1
@@ -44,6 +54,10 @@ class IntegrityMonitor:
     def record_failure(self, artifact: str, name: str, detail: str = "") -> None:
         self.failed[artifact] = self.failed.get(artifact, 0) + 1
         self.violations.append((artifact, name, detail))
+        if self.trace is not None and self.clock is not None:
+            self.trace.emit(
+                self.clock(), "integrity-violation", name, artifact=artifact
+            )
 
     @property
     def total_verified(self) -> int:

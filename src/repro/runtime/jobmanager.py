@@ -44,6 +44,7 @@ from repro.sim.core import Environment
 from repro.sim.queues import Signal
 from repro.sim.rng import RandomStreams
 from repro.state.snapshot import SnapshotStore, TaskSnapshot
+from repro.trace.events import TraceLog
 
 
 def task_name_of(vertex_name: str, subtask: int) -> str:
@@ -104,7 +105,11 @@ class JobManager:
         self.external = external
         self.streams = RandomStreams(config.seed)
         self.dfs = DistributedFileSystem(env, config.cost)
+        #: Structured sim-time-stamped event bus (repro.trace); always on,
+        #: passive by construction — recording only appends to a list.
+        self.trace = TraceLog()
         self.integrity = IntegrityMonitor(validate=config.integrity.validate)
+        self.integrity.bind_trace(self.trace, lambda: self.env.now)
         self.snapshot_store = SnapshotStore(
             self.dfs,
             incremental=config.incremental_checkpoints,
@@ -209,6 +214,7 @@ class JobManager:
                     vertex.name,
                     standby_node,
                     monitor=self.integrity,
+                    trace=self.trace,
                 )
         self._checkpoint_proc = self.env.process(
             self._checkpoint_coordinator(), name="checkpoint-coordinator"
@@ -429,6 +435,11 @@ class JobManager:
             self._pending_since = self.env.now
             self._pending_acks = set()
             self._snapshots_of_pending = {}
+            self.trace.emit(
+                self.env.now,
+                "checkpoint-triggered",
+                checkpoint_id=self._pending_checkpoint,
+            )
             for vertex in self.vertices.values():
                 if vertex.is_source and vertex.task is not None:
                     vertex.task.control.send(
@@ -438,6 +449,12 @@ class JobManager:
     def snapshot_taken(self, task: StreamTask, snapshot: TaskSnapshot) -> None:
         """A task took its local snapshot; persist it asynchronously, then
         count the ack."""
+        self.trace.emit(
+            self.env.now,
+            "snapshot-taken",
+            task.name,
+            checkpoint_id=snapshot.checkpoint_id,
+        )
         self.env.process(
             self._upload_snapshot(task, snapshot),
             name=f"upload:{task.name}:{snapshot.checkpoint_id}",
@@ -478,6 +495,9 @@ class JobManager:
         self._pending_since = None
         self.completed_checkpoint = checkpoint_id
         self.checkpoints_completed.append((checkpoint_id, self.env.now))
+        self.trace.emit(
+            self.env.now, "checkpoint-complete", checkpoint_id=checkpoint_id
+        )
         snapshots = dict(self._snapshots_of_pending)
         self._snapshots_of_pending = {}
         # Retain-last-N subsumption GC: keep the newest N completed epochs
@@ -504,6 +524,11 @@ class JobManager:
     def abort_pending_checkpoint(self) -> None:
         if self._pending_checkpoint is not None:
             self._aborted_checkpoints.add(self._pending_checkpoint)
+            self.trace.emit(
+                self.env.now,
+                "checkpoint-aborted",
+                checkpoint_id=self._pending_checkpoint,
+            )
             self._pending_checkpoint = None
             self._pending_since = None
             self._snapshots_of_pending = {}
@@ -546,6 +571,7 @@ class JobManager:
             self._defer_kill(vertex, force)
             return
         self.failures_injected.append((self.env.now, task_name))
+        self.trace.emit(self.env.now, "failure-injected", task_name)
         task.fail()
         self.dead_tasks.add(task_name)
         self.cluster.release(task_name)
@@ -704,7 +730,8 @@ class JobManager:
             )
             return None
         standby = StandbyState(
-            self.env, self.cost, vertex.name, node, monitor=self.integrity
+            self.env, self.cost, vertex.name, node, monitor=self.integrity,
+            trace=self.trace,
         )
         vertex.standby = standby
         self.recovery_events.append(
@@ -799,6 +826,7 @@ class JobManager:
             return  # already recovered via a broader action (global restart)
         self.abort_pending_checkpoint()
         self.recovery_events.append((self.env.now, "detected", task_name))
+        self.trace.emit(self.env.now, "failure-detected", task_name)
         self.coordinator.on_failure_detected(task_name)
 
     # -- task callbacks ----------------------------------------------------------------------
@@ -806,6 +834,7 @@ class JobManager:
     def task_recovered(self, task: StreamTask) -> None:
         self.recovering_tasks.discard(task.name)
         self.recovery_events.append((self.env.now, "recovered", task.name))
+        self.trace.emit(self.env.now, "task-recovered", task.name)
 
     def task_crashed(self, task: StreamTask, exc: BaseException) -> None:
         self.crashed.append((task.name, exc))

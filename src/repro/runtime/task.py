@@ -123,7 +123,11 @@ class StreamTask:
         self.backend = HashMapStateBackend()
         self.timers = TimerService(env)
         self.control = ControlQueue(env, self.cost, name, jm=jobmanager)
-        self.recovery = RecoveryManager(name)
+        self.recovery = RecoveryManager(
+            name,
+            trace=getattr(jobmanager, "trace", None),
+            clock=(lambda: env.now),
+        )
         self.causal: Optional[CausalLogManager] = None
         self.inflight: Optional[InFlightLog] = None
         self.services: Optional[Services] = None
@@ -244,6 +248,11 @@ class StreamTask:
                 self.services.reseed_for_epoch(self.epoch)
         self.operator.open(self.ctx)
         if recovery_bundle is not None:
+            # Step 4 of the recovery protocol starts here: replay logged
+            # in-flight records under the loaded order determinants.
+            self.jm.trace.emit(
+                self.env.now, "phase-mark", self.name, phase="inflight-replay"
+            )
             self.recovery.load(recovery_bundle, replay_from_epoch)
             self._prepare_replay()
             if self.status is not TaskStatus.RUNNING:
@@ -812,6 +821,10 @@ class StreamTask:
         # its last logged nondeterministic event; they MUST keep driving the
         # boundaries (sender-side dedup needs byte-identical regeneration up
         # to the last delivered buffer), so they drain naturally.
+        # Step 6: the downstream dedup horizon flushes from here on.
+        self.jm.trace.emit(
+            self.env.now, "phase-mark", self.name, phase="dedup-flush"
+        )
         self.timers.arm_parked()
         self._last_wm_check = self.env.now
         self._set_status(TaskStatus.RUNNING)

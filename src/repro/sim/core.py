@@ -311,6 +311,12 @@ class Environment:
     #: it each popped event — the schedule hash of the determinism sanitizer.
     _tracer_factory: Optional[Callable[[], Any]] = None
 
+    #: Optional factory installed by :func:`repro.trace.profiler.profiling`:
+    #: every new environment attaches the profiler it returns, and
+    #: :meth:`step` times each callback it dispatches.  The profiler observes
+    #: wall-clock time only — it never feeds anything back into the sim.
+    _profiler_factory: Optional[Callable[[], Any]] = None
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List = []
@@ -318,6 +324,8 @@ class Environment:
         self._active_process: Optional[Process] = None
         factory = Environment._tracer_factory
         self.tracer = factory() if factory is not None else None
+        profiler_factory = Environment._profiler_factory
+        self.profiler = profiler_factory() if profiler_factory is not None else None
 
     @property
     def now(self) -> float:
@@ -372,9 +380,17 @@ class Environment:
             self.tracer.on_step(when, _prio, event)
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
+        profiler = self.profiler
         if callbacks:
-            for callback in callbacks:
-                callback(event)
+            if profiler is None:
+                for callback in callbacks:
+                    callback(event)
+            else:
+                profiler.on_step(when, _prio, event)
+                for callback in callbacks:
+                    started = profiler.begin()
+                    callback(event)
+                    profiler.record(event, callback, started)
         elif not event.ok and not isinstance(event, Process):
             # A failed event nobody waited for would silently swallow the
             # exception; surface it instead.

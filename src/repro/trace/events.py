@@ -1,0 +1,134 @@
+"""Structured, sim-time-stamped event bus for Clonos dataflows.
+
+Every :class:`~repro.runtime.jobmanager.JobManager` owns one
+:class:`TraceLog` (``jm.trace``) and the instrumented layers — checkpoint
+coordinator, tasks, fault-tolerance coordinators, recovery/standby state,
+chaos engine, integrity monitor — append :class:`TraceEvent` records to it.
+
+Design constraints:
+
+* **Passive.** ``emit`` only appends a tuple of already-computed sim values
+  to a Python list.  It never schedules sim events, never reads wall clocks,
+  and never touches RNG state, so enabling/disabling tracing cannot change
+  sim-time behaviour (asserted by ``tests/trace/test_passivity.py``).
+* **Cheap.** The hot-path guard is a single attribute check; recording a
+  disabled log is a no-op.
+* **Self-contained.** Events carry plain scalars (str/int/float/bool) so the
+  exporters can serialise them deterministically.
+
+Event-kind taxonomy (``TraceEvent.kind``):
+
+==========================  ====================================================
+kind                        meaning (``subject`` / notable ``args``)
+==========================  ====================================================
+``checkpoint-triggered``    coordinator starts epoch cut (``checkpoint_id``)
+``snapshot-taken``          one task sealed its snapshot (task / ``checkpoint_id``)
+``checkpoint-complete``     all acks in; epoch boundary (``checkpoint_id``)
+``checkpoint-aborted``      pending cut abandoned (``checkpoint_id``)
+``failure-injected``        harness/chaos killed a task (victim task)
+``failure-detected``        failure detector fired (victim task, ``via``)
+``task-recovered``          victim finished replay + dedup flush (victim task)
+``phase-begin``             supervised protocol step started (task, ``phase``)
+``phase-end``               supervised step finished (task, ``phase``/``status``)
+``phase-mark``              instantaneous phase transition (task, ``phase``)
+``recovery-retry``          escalation-ladder retry (task, ``label``/``attempt``)
+``orphan-fallback``         determinants lost; rung 2 (task)
+``degraded``                ladder exhausted; rung 3 announced (task, ``reason``)
+``global-restart-begin``    full-rollback restart begins (``*``)
+``global-restart-done``     all tasks restarted from epoch (``*``, ``epoch``)
+``standby-transfer-begin``  snapshot dispatch to hot standby (task)
+``standby-transfer-done``   standby image installed (task, ``checkpoint_id``)
+``standby-lost``            standby node died (task)
+``replay-loaded``           determinant bundle loaded (task, counts)
+``replay-exhausted``        all determinants consumed (task, counts)
+``chaos-fault``             chaos engine applied a fault (target, ``fault``)
+``integrity-violation``     artifact validation failed (artifact, ``check``)
+==========================  ====================================================
+
+Phase names used with ``phase-begin``/``phase-end``/``phase-mark`` follow the
+paper's six-step recovery protocol plus the detection/catch-up bookends; see
+:data:`repro.trace.timeline.PHASE_ORDER`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+
+class TraceEvent(NamedTuple):
+    """One structured trace record stamped with the sim time it occurred."""
+
+    time: float
+    kind: str
+    subject: str
+    args: Tuple[Tuple[str, Any], ...]
+
+    def arg(self, name: str, default: Any = None) -> Any:
+        for key, value in self.args:
+            if key == name:
+                return value
+        return default
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "time": self.time,
+            "kind": self.kind,
+            "subject": self.subject,
+        }
+        if self.args:
+            doc["args"] = dict(self.args)
+        return doc
+
+
+class TraceLog:
+    """Append-only, sim-time-ordered event log.
+
+    ``default_enabled`` is the class-wide switch consulted when a log is
+    constructed without an explicit ``enabled`` flag; the :func:`tracing`
+    context manager flips it for passivity experiments.
+    """
+
+    default_enabled: bool = True
+
+    __slots__ = ("enabled", "events")
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        self.enabled = TraceLog.default_enabled if enabled is None else enabled
+        self.events: List[TraceEvent] = []
+
+    def emit(self, time: float, kind: str, subject: str = "", **args: Any) -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(time, kind, subject, tuple(sorted(args.items())))
+        )
+
+    def events_of(self, *kinds: str) -> List[TraceEvent]:
+        wanted = frozenset(kinds)
+        return [event for event in self.events if event.kind in wanted]
+
+    def clear(self) -> None:
+        del self.events[:]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+@contextmanager
+def tracing(enabled: bool) -> Iterator[None]:
+    """Force the default enabled-state of newly created :class:`TraceLog`\\ s.
+
+    Used by the passivity test to run the same experiment with recording
+    on and off and compare sink digests.
+    """
+
+    previous = TraceLog.default_enabled
+    TraceLog.default_enabled = enabled
+    try:
+        yield
+    finally:
+        TraceLog.default_enabled = previous

@@ -1,0 +1,131 @@
+"""Span tree: job → epoch → recovery-incident → protocol-phase.
+
+Spans are derived *post hoc* from a :class:`~repro.trace.events.TraceLog`
+and a :class:`~repro.trace.timeline.JobTimeline` — nothing in the sim ever
+holds a span open, which keeps recording passive and crash-safe (a run that
+dies mid-recovery still yields a well-formed tree for the part that ran).
+
+Lifecycle:
+
+* the **job** span covers ``[0, duration]`` (or the last event seen);
+* **epoch** spans tile the job span between consecutive
+  ``checkpoint-complete`` boundaries;
+* **checkpoint** spans cover trigger → completion/abort of each cut;
+* **incident** spans cover ``[failure_time, end_time]`` of each
+  :class:`~repro.trace.timeline.RecoveryIncident`, with one child span per
+  protocol :class:`~repro.trace.timeline.Phase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.trace.events import TraceLog
+from repro.trace.timeline import JobTimeline
+
+
+@dataclass
+class Span:
+    name: str
+    category: str
+    start: float
+    end: float
+    args: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def walk(self) -> List["Span"]:
+        spans = [self]
+        for child in self.children:
+            spans.extend(child.walk())
+        return spans
+
+
+def _job_extent(trace: TraceLog, timeline: JobTimeline) -> Tuple[float, float]:
+    end = timeline.duration if timeline.duration is not None else 0.0
+    for event in trace:
+        end = max(end, event.time)
+    for incident in timeline.incidents:
+        end = max(end, incident.end_time)
+    return 0.0, end
+
+
+def build_span_tree(
+    trace: TraceLog,
+    timeline: JobTimeline,
+    job_name: str = "job",
+) -> Span:
+    """Assemble the job → epoch → incident → phase span tree."""
+
+    start, end = _job_extent(trace, timeline)
+    job = Span(job_name, "job", start, end)
+
+    boundaries = [start]
+    for checkpoint in timeline.checkpoints:
+        if checkpoint.status == "complete" and checkpoint.completed is not None:
+            boundaries.append(checkpoint.completed)
+    boundaries.append(end)
+    epoch_id = 0
+    for left, right in zip(boundaries, boundaries[1:]):
+        if right <= left:
+            continue
+        job.children.append(
+            Span(f"epoch {epoch_id}", "epoch", left, right, {"epoch": epoch_id})
+        )
+        epoch_id += 1
+
+    for checkpoint in timeline.checkpoints:
+        completed = checkpoint.completed if checkpoint.completed is not None else end
+        job.children.append(
+            Span(
+                f"checkpoint {checkpoint.checkpoint_id}",
+                "checkpoint",
+                checkpoint.triggered,
+                completed,
+                {
+                    "checkpoint_id": checkpoint.checkpoint_id,
+                    "status": checkpoint.status,
+                },
+            )
+        )
+
+    for incident in timeline.incidents:
+        node = Span(
+            f"recover {incident.victim}",
+            "recovery-incident",
+            incident.failure_time,
+            incident.end_time,
+            {
+                "incident": incident.index,
+                "victim": incident.victim,
+                "end_source": incident.end_source,
+                "retries": incident.retries,
+                "degraded": incident.degraded,
+            },
+        )
+        for phase in incident.phases:
+            node.children.append(
+                Span(
+                    phase.name,
+                    "recovery-phase",
+                    phase.start,
+                    phase.end,
+                    {"incident": incident.index, "victim": incident.victim},
+                )
+            )
+        job.children.append(node)
+
+    return job
+
+
+def span_summary(root: Span) -> Dict[str, int]:
+    """Count spans per category (handy for tests and CLI summaries)."""
+
+    counts: Dict[str, int] = {}
+    for span in root.walk():
+        counts[span.category] = counts.get(span.category, 0) + 1
+    return dict(sorted(counts.items()))

@@ -1,0 +1,50 @@
+"""The framework allowlist exempts exactly the profiler's wall-clock reads —
+nothing else, nowhere else."""
+
+from pathlib import Path
+
+import repro.trace.profiler as profiler_module
+from repro.analysis import lint_file
+from repro.analysis.rules import FRAMEWORK_ALLOWLIST, allowlisted_calls
+
+PROFILER_FILE = Path(profiler_module.__file__)
+
+
+def test_profiler_module_lints_clean():
+    report = lint_file(PROFILER_FILE)
+    assert report.findings == []
+    assert report.ok(strict=True)
+
+
+def test_allowlist_matches_by_path_suffix():
+    allowed = allowlisted_calls(str(PROFILER_FILE))
+    assert "time.perf_counter_ns" in allowed
+    assert allowlisted_calls("repro/trace/profiler.py") == allowed
+    assert allowlisted_calls("repro\\trace\\profiler.py") == allowed
+
+
+def test_other_modules_get_no_exemption():
+    assert allowlisted_calls("src/repro/trace/events.py") == frozenset()
+    assert allowlisted_calls("user_code/profiler.py") == frozenset()
+
+
+def test_wall_clock_still_flagged_outside_the_allowlist(tmp_path):
+    # The same call the profiler is allowed to make stays an ND101 error in
+    # any non-allowlisted file.
+    bad = tmp_path / "user_op.py"
+    bad.write_text(
+        "import time\n\n\ndef measure():\n    return time.perf_counter()\n"
+    )
+    report = lint_file(bad)
+    assert not report.ok()
+    assert any(f.rule.rule_id == "ND101" for f in report.errors)
+
+
+def test_allowlist_stays_minimal():
+    # Guard against the exemption quietly growing: one file, wall-clock
+    # reads only.
+    assert set(FRAMEWORK_ALLOWLIST) == {"repro/trace/profiler.py"}
+    assert FRAMEWORK_ALLOWLIST["repro/trace/profiler.py"] <= {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }

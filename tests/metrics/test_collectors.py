@@ -48,6 +48,28 @@ class TestThroughputSampler:
         assert all(abs(s.records_per_second - 100.0) < 10 for s in sampler.samples)
         assert sampler.mean_rate() == pytest.approx(100.0, rel=0.1)
 
+    def test_mean_rate_of_empty_window_is_zero(self):
+        env = Environment()
+        log = DurableLog()
+        log.create_topic("out", 1)
+        sampler = ThroughputSampler(env, log, "out", period=0.5)
+        env.run(until=2.0)
+        sampler.stop()
+        assert sampler.samples, "sampler did run"
+        # A window past the last sample holds nothing — not a ZeroDivisionError.
+        assert sampler.mean_rate(start=100.0, end=200.0) == 0.0
+        # Inverted bounds select nothing either.
+        assert sampler.mean_rate(start=2.0, end=1.0) == 0.0
+
+    def test_mean_rate_without_any_samples_is_zero(self):
+        env = Environment()
+        log = DurableLog()
+        log.create_topic("out", 1)
+        sampler = ThroughputSampler(env, log, "out", period=0.5)
+        sampler.stop()  # never advanced the sim: no samples at all
+        assert sampler.samples == []
+        assert sampler.mean_rate() == 0.0
+
 
 class TestLatencyPoints:
     def test_uses_created_at_when_present(self):
@@ -69,6 +91,19 @@ class TestLatencyPoints:
         log.append("out", 0, 5.0, SinkEntry("v", None, float("inf")))
         assert latency_points(log, "out") == []
 
+    def test_points_sorted_by_time_across_partitions(self):
+        # Parallel sink subtasks interleave appends out of global time order;
+        # recovery_time depends on the points arriving sorted.
+        log = DurableLog()
+        log.create_topic("out", 2)
+        log.append("out", 1, 9.0, SinkEntry("d", 8.0, 8.0))
+        log.append("out", 0, 5.0, SinkEntry("a", 4.0, 4.0))
+        log.append("out", 1, 3.0, SinkEntry("b", 2.0, 2.0))
+        log.append("out", 0, 7.0, SinkEntry("c", 6.0, 6.0))
+        points = latency_points(log, "out")
+        assert [p.time for p in points] == [3.0, 5.0, 7.0, 9.0]
+        assert all(p.latency == pytest.approx(1.0) for p in points)
+
 
 class TestRecoveryTime:
     def baseline(self, latency=0.01, until=10.0):
@@ -87,6 +122,17 @@ class TestRecoveryTime:
     def test_none_without_baseline(self):
         points = [LatencyPoint(11.0, 5.0)]
         assert recovery_time(points, failure_time=10.0) is None
+
+    def test_latency_never_returning_to_baseline(self):
+        # Every post-failure point stays above the envelope: recovery time is
+        # pinned to the last observation, not None/zero/negative.
+        points = self.baseline()
+        points += [LatencyPoint(10.0 + 0.5 * i, 2.0 + 0.1 * i) for i in range(1, 9)]
+        measured = recovery_time(points, failure_time=10.0)
+        assert measured == pytest.approx(4.0)  # last point at t=14.0
+        # The measurement is the full observed window, i.e. recovery never
+        # completed within it.
+        assert measured == pytest.approx(max(p.time for p in points) - 10.0)
 
 
 class TestThroughputDip:

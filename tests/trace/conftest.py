@@ -1,0 +1,55 @@
+"""Shared fixtures for the trace subsystem tests.
+
+``fig6_runs`` is the one expensive thing here — a scaled-down Figure 6
+single-failure experiment (both arms) — so it is session-scoped and every
+integration test reads from the same pair of results.
+"""
+
+import pytest
+
+from repro.config import FaultToleranceMode
+from repro.harness.experiment import run_experiment
+from repro.harness.figures import (
+    experiment_config,
+    fig6_single_failure,
+    nexmark_graph_fn,
+)
+
+#: Scaled-down Figure 6 parameters: same shape as the benchmark defaults
+#: (Q3, kill join[0] mid-run, checkpoints at half the kill offset), a third
+#: of the wall clock.
+SMALL_FIG6 = dict(
+    query="Q3",
+    victim="join[0]",
+    parallelism=2,
+    events_per_partition=12000,
+    rate=4000.0,
+    kill_at=2.0,
+    checkpoint_interval=1.0,
+)
+
+
+@pytest.fixture(scope="session")
+def fig6_runs():
+    return fig6_single_failure(**SMALL_FIG6)
+
+
+@pytest.fixture(scope="session")
+def clonos_run(fig6_runs):
+    return fig6_runs["clonos"]
+
+
+@pytest.fixture(scope="session")
+def flink_run(fig6_runs):
+    return fig6_runs["flink"]
+
+
+def tiny_failure_run(mode=FaultToleranceMode.CLONOS):
+    """A minimal single-kill run — enough to exercise every emit path while
+    staying cheap to repeat (the passivity tests run it several times)."""
+    config = experiment_config(mode, None, 0.5)
+    return run_experiment(
+        nexmark_graph_fn("Q3", 2, 6000, 3000.0),
+        config,
+        kills=[(1.2, "join[0]")],
+    )

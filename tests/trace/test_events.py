@@ -1,0 +1,62 @@
+"""TraceLog / TraceEvent unit behaviour."""
+
+from repro.trace import TraceLog, tracing
+
+
+def test_emit_appends_in_call_order():
+    log = TraceLog()
+    log.emit(1.0, "failure-injected", "join[0]")
+    log.emit(0.5, "checkpoint-triggered", "*", checkpoint_id=3)
+    kinds = [event.kind for event in log]
+    assert kinds == ["failure-injected", "checkpoint-triggered"]
+    assert len(log) == 2
+
+
+def test_args_are_canonically_sorted_and_queryable():
+    log = TraceLog()
+    log.emit(0.25, "phase-end", "map[1]", status="ok", phase="inflight-replay")
+    (event,) = list(log)
+    assert event.args == (("phase", "inflight-replay"), ("status", "ok"))
+    assert event.arg("phase") == "inflight-replay"
+    assert event.arg("absent", "fallback") == "fallback"
+    assert event.to_dict() == {
+        "time": 0.25,
+        "kind": "phase-end",
+        "subject": "map[1]",
+        "args": {"phase": "inflight-replay", "status": "ok"},
+    }
+
+
+def test_events_of_filters_by_kind():
+    log = TraceLog()
+    log.emit(0.0, "checkpoint-triggered", "*", checkpoint_id=1)
+    log.emit(0.1, "snapshot-taken", "map[0]", checkpoint_id=1)
+    log.emit(0.2, "checkpoint-complete", "*", checkpoint_id=1)
+    got = log.events_of("checkpoint-triggered", "checkpoint-complete")
+    assert [event.kind for event in got] == [
+        "checkpoint-triggered",
+        "checkpoint-complete",
+    ]
+
+
+def test_disabled_log_records_nothing():
+    log = TraceLog(enabled=False)
+    log.emit(0.0, "failure-injected", "join[0]")
+    assert len(log) == 0
+
+
+def test_tracing_context_flips_default_and_restores():
+    assert TraceLog.default_enabled is True
+    with tracing(False):
+        assert TraceLog().enabled is False
+        # An explicit flag still wins over the default.
+        assert TraceLog(enabled=True).enabled is True
+    assert TraceLog.default_enabled is True
+    assert TraceLog().enabled is True
+
+
+def test_clear_empties_the_log():
+    log = TraceLog()
+    log.emit(0.0, "chaos-fault", "net", fault="partition")
+    log.clear()
+    assert list(log) == []

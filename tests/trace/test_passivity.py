@@ -1,0 +1,42 @@
+"""Passivity guarantee (DESIGN.md): observability must never perturb the sim.
+
+The same seeded failure experiment runs with tracing on, tracing off, and the
+profiler attached; the sink output, failure record, and recovery events must
+be identical in every configuration.
+"""
+
+import hashlib
+
+from repro.trace import profiling, tracing
+
+from tests.trace.conftest import tiny_failure_run
+
+
+def _digest(result):
+    material = repr(
+        (
+            result.output_values(),
+            result.failures,
+            result.recovery_events,
+            result.duration,
+        )
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def test_tracing_off_leaves_sink_output_byte_identical():
+    with tracing(True):
+        traced = tiny_failure_run()
+    with tracing(False):
+        untraced = tiny_failure_run()
+    assert len(traced.jm.trace) > 0
+    assert len(untraced.jm.trace) == 0
+    assert _digest(traced) == _digest(untraced)
+
+
+def test_profiler_leaves_sink_output_byte_identical():
+    baseline = tiny_failure_run()
+    with profiling() as profilers:
+        profiled = tiny_failure_run()
+    assert profilers and any(p.steps > 0 for p in profilers)
+    assert _digest(baseline) == _digest(profiled)
