@@ -1,9 +1,12 @@
 #!/usr/bin/env python
-"""CI gate: NDLint every shipped example and Nexmark query.
+"""CI gate: NDLint every shipped example and Nexmark query, then run the
+interprocedural causal-coverage analyzer over the framework tree.
 
-Equivalent to ``python -m repro lint all``; exits non-zero when any target
-carries an un-intercepted source of nondeterminism (README, "Verifying your
-pipeline is causally loggable").
+Equivalent to ``python -m repro lint all && python -m repro verify-static``;
+exits non-zero when any target carries an un-intercepted source of
+nondeterminism or the tree violates ND201/ND202/ND203/ND210 (README,
+"Verifying your pipeline is causally loggable").  Exit codes follow the
+determinism-tooling convention: 0 clean, 1 findings, 2 internal error.
 """
 
 import sys
@@ -13,5 +16,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.cli import main  # noqa: E402
 
+
+def run() -> int:
+    lint_rc = main(["lint", "all"])
+    static_rc = main(["verify-static"])
+    return max(lint_rc, static_rc)
+
+
 if __name__ == "__main__":
-    sys.exit(main(["lint", "all"]))
+    sys.exit(run())

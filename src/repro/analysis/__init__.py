@@ -20,6 +20,7 @@ property:
 """
 
 from repro.analysis.engine import (
+    dedupe_reports,
     lint_callable,
     lint_file,
     lint_graph,
@@ -51,6 +52,7 @@ __all__ = [
     "Violation",
     "combined_digest",
     "double_run",
+    "dedupe_reports",
     "lint_callable",
     "lint_file",
     "lint_graph",

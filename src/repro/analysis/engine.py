@@ -107,9 +107,14 @@ def _findings_for(
     for hit in raw:
         line_text = lines[hit.lineno - 1] if 0 < hit.lineno <= len(lines) else ""
         def_text = lines[def_line - 1] if 0 < def_line <= len(lines) else ""
-        suppressed = suppresses(line_text, hit.rule) or (
-            hit.lineno != def_line and suppresses(def_text, hit.rule)
-        )
+        # A disable comment suppresses the hit from anywhere in the flagged
+        # construct's span: multi-line comprehensions/calls carry their
+        # trailing comment on the closing line, not the first.
+        suppressed = any(
+            suppresses(lines[n - 1], hit.rule)
+            for n in hit.span()
+            if 0 < n <= len(lines)
+        ) or (hit.lineno != def_line and suppresses(def_text, hit.rule))
         findings.append(
             Finding(
                 rule=hit.rule,
@@ -229,6 +234,33 @@ def lint_graph(graph) -> LintReport:
             report.merge(lint_callable(fn, target=target))
     report.subject = getattr(graph, "name", "graph")
     return report
+
+
+def dedupe_reports(reports: List[LintReport]) -> List[LintReport]:
+    """Drop findings already reported by an earlier report in ``reports``.
+
+    ``lint all`` sweeps the example files with :func:`lint_file` *and*
+    reaches some of the same defs again through :func:`lint_graph` (a query
+    graph whose UDFs live in an already-swept module).  Both engines pin
+    findings to absolute ``file:line`` positions, so the duplicate is
+    exact — same rule, file, line, and message; only the ``target``
+    breadcrumb differs.  The first occurrence wins; later duplicates are
+    removed in place (suppressed hits are deduped the same way).  Returns
+    ``reports`` for chaining.
+    """
+    seen: set = set()
+    for report in reports:
+        for attr in ("findings", "suppressed"):
+            kept = []
+            for finding in getattr(report, attr):
+                key = (finding.rule.rule_id, finding.file, finding.line,
+                       finding.message)
+                if key in seen:
+                    continue
+                seen.add(key)
+                kept.append(finding)
+            setattr(report, attr, kept)
+    return reports
 
 
 def lint_file(path) -> LintReport:

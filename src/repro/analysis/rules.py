@@ -263,6 +263,15 @@ class RawFinding:
     lineno: int
     col: int
     message: str
+    #: Last line of the flagged construct (== ``lineno`` for single-line
+    #: hits).  Multi-line constructs — e.g. a set comprehension in a
+    #: snapshot method (ND107) wrapped over several lines — honour an
+    #: inline ``# ndlint: disable`` comment anywhere in the span.
+    end_lineno: int = 0
+
+    def span(self) -> range:
+        """Line numbers covered by the flagged construct (inclusive)."""
+        return range(self.lineno, max(self.end_lineno, self.lineno) + 1)
 
 
 class RuleVisitor(ast.NodeVisitor):
@@ -307,8 +316,15 @@ class RuleVisitor(ast.NodeVisitor):
     # -- helpers ----------------------------------------------------------------
 
     def _flag(self, rule: Rule, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
         self.findings.append(
-            RawFinding(rule, getattr(node, "lineno", 0), getattr(node, "col_offset", 0), message)
+            RawFinding(
+                rule,
+                lineno,
+                getattr(node, "col_offset", 0),
+                message,
+                end_lineno=getattr(node, "end_lineno", lineno) or lineno,
+            )
         )
 
     @staticmethod

@@ -7,15 +7,18 @@
     python -m repro memory
     python -m repro table1
     python -m repro lint [all | q5 | examples | path/to/file.py ...] [--strict]
+    python -m repro verify-static [--json] [--bench BENCH_static.json] [DIR ...]
     python -m repro sanitize [all | quickstart | q3 ...]
     python -m repro chaos [--seeds 0:20 | --seed 9] [--max-faults 4]
     python -m repro audit [--inject K] [--soak | --seeds 0:8]
 
 Every experiment subcommand prints the reproduced table/series of the
 corresponding figure; see EXPERIMENTS.md for the mapping to the paper.
-``lint`` runs the NDLint static pass and ``sanitize`` the double-run
+``lint`` runs the NDLint static pass, ``verify-static`` the interprocedural
+causal-coverage analyzer (ND201–ND210), and ``sanitize`` the double-run
 determinism sanitizer (see README, "Verifying your pipeline is causally
-loggable").  ``chaos`` soaks randomised fault plans against the recovery
+loggable").  Determinism-tooling verbs share one exit-code convention:
+0 clean, 1 findings, 2 internal/usage error.  ``chaos`` soaks randomised fault plans against the recovery
 protocol and verdicts each run (see README, "Chaos testing the recovery
 protocol").  ``audit`` sweeps every stored artifact and verifies its
 content fingerprint — clean sweep exits 0; ``--inject K`` self-tests the
@@ -313,31 +316,36 @@ def _query_graph(name: str):
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis import lint_file, lint_graph
+    from repro.analysis import dedupe_reports, lint_file, lint_graph
     from repro.nexmark.queries import QUERIES
 
     targets = [t for t in (args.targets or ["all"])]
     reports = []
-    for raw in targets:
-        target = raw.strip()
-        upper = target.upper()
-        if target == "all":
-            reports.extend(
-                lint_file(_EXAMPLES_DIR / f"{name}.py") for name in _EXAMPLE_NAMES
-            )
-            reports.extend(lint_graph(_query_graph(q)) for q in sorted(QUERIES))
-        elif target == "examples":
-            reports.extend(
-                lint_file(_EXAMPLES_DIR / f"{name}.py") for name in _EXAMPLE_NAMES
-            )
-        elif upper in QUERIES:
-            reports.append(lint_graph(_query_graph(upper)))
-        elif target.endswith(".py"):
-            reports.append(lint_file(target))
-        else:
-            print(f"unknown lint target {target!r} "
-                  f"(all | examples | Q1..Q14 | path/to/file.py)", file=sys.stderr)
-            return 2
+    try:
+        for raw in targets:
+            target = raw.strip()
+            upper = target.upper()
+            if target == "all":
+                reports.extend(
+                    lint_file(_EXAMPLES_DIR / f"{name}.py") for name in _EXAMPLE_NAMES
+                )
+                reports.extend(lint_graph(_query_graph(q)) for q in sorted(QUERIES))
+            elif target == "examples":
+                reports.extend(
+                    lint_file(_EXAMPLES_DIR / f"{name}.py") for name in _EXAMPLE_NAMES
+                )
+            elif upper in QUERIES:
+                reports.append(lint_graph(_query_graph(upper)))
+            elif target.endswith(".py"):
+                reports.append(lint_file(target))
+            else:
+                print(f"unknown lint target {target!r} "
+                      f"(all | examples | Q1..Q14 | path/to/file.py)", file=sys.stderr)
+                return 2
+    except Exception as exc:  # internal error, not a finding: exit 2
+        print(f"ndlint: internal error: {exc!r}", file=sys.stderr)
+        return 2
+    dedupe_reports(reports)
     failed = False
     for report in reports:
         print(report.summary())
@@ -350,6 +358,58 @@ def _cmd_lint(args) -> int:
     n_warn = sum(len(r.warnings) for r in reports)
     print(f"\nndlint: {len(reports)} targets, {n_err} errors, {n_warn} warnings")
     return 1 if failed else 0
+
+
+def _cmd_verify_static(args) -> int:
+    """Interprocedural causal-coverage analysis (ND201–ND210) over a tree.
+
+    Exit codes follow the determinism-tooling convention: 0 clean, 1
+    findings (or parse errors in the scanned tree), 2 internal error.
+    """
+    import json as json_module
+
+    from repro.analysis.causal import analyze_tree
+
+    try:
+        roots = [Path(p) if p is not None else None
+                 for p in (args.roots or [None])]
+        reports = []
+        for root in roots:
+            if root is not None and not root.is_dir():
+                print(f"verify-static: not a directory: {root}", file=sys.stderr)
+                return 2
+            package = root.name if root is not None else "repro"
+            reports.append(analyze_tree(root, package=package))
+    except Exception as exc:
+        print(f"verify-static: internal error: {exc!r}", file=sys.stderr)
+        return 2
+    for report in reports:
+        print(report.to_json() if args.json else report.render())
+    if args.bench:
+        totals = {"findings": 0, "exempted": 0, "wall_clock_s": 0.0,
+                  "modules": 0, "functions": 0}
+        counts: dict = {}
+        for report in reports:
+            totals["findings"] += len(report.findings)
+            totals["exempted"] += len(report.exempted)
+            totals["wall_clock_s"] += report.stats.get("wall_clock_s", 0.0)
+            totals["modules"] += int(report.stats.get("modules", 0))
+            totals["functions"] += int(report.stats.get("functions", 0))
+            for rule_id, n in report.counts().items():
+                counts[rule_id] = counts.get(rule_id, 0) + n
+        payload = {
+            "bench": "verify-static",
+            "roots": [r.root for r in reports],
+            "ok": all(r.ok for r in reports),
+            "counts_by_rule": dict(sorted(counts.items())),
+            **totals,
+            "wall_clock_s": round(totals["wall_clock_s"], 4),
+        }
+        Path(args.bench).write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"bench written: {args.bench}", file=sys.stderr)
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _sanitize_thunk(target: str):
@@ -659,6 +719,22 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--strict", action="store_true",
                     help="treat warnings as failures too")
     pl.set_defaults(fn=_cmd_lint)
+
+    pv = sub.add_parser(
+        "verify-static",
+        help="interprocedural causal-coverage analysis: ND201 (ND->state), "
+             "ND202 (ND->output), ND203 (dead determinant), ND210 (phase "
+             "protocol)",
+    )
+    pv.add_argument("roots", nargs="*", metavar="DIR",
+                    help="source tree(s) to scan (default: the installed "
+                         "src/repro tree)")
+    pv.add_argument("--json", action="store_true",
+                    help="emit the machine-readable JSON report")
+    pv.add_argument("--bench", metavar="PATH", default=None,
+                    help="also write analyzer wall-clock + finding counts "
+                         "as JSON (e.g. BENCH_static.json)")
+    pv.set_defaults(fn=_cmd_verify_static)
 
     ps = sub.add_parser(
         "sanitize", help="double-run determinism sanitizer + protocol invariants"

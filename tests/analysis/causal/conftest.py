@@ -1,0 +1,46 @@
+"""Shared fixture: build a synthetic mini-package on disk and analyze it.
+
+The causal analyzer parses sources from disk and never imports them, so
+tests write small module trees into ``tmp_path`` and run
+:func:`repro.analysis.causal.analyze_tree` directly over them.
+"""
+
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.analysis.causal import analyze_tree
+
+
+@pytest.fixture
+def mini_tree(tmp_path):
+    """``mini_tree(files)`` writes ``files`` under a ``mini/`` package and
+    returns the analyzer report (allowlist off, so tests see raw findings)."""
+
+    def build(
+        files: Dict[str, str],
+        consumer_suffixes: Tuple[str, ...] = ("consumer.py",),
+    ):
+        root = tmp_path / "mini"
+        root.mkdir(exist_ok=True)
+        for name, text in files.items():
+            path = root / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        return analyze_tree(
+            root,
+            package="mini",
+            consumer_suffixes=consumer_suffixes,
+            use_allowlist=False,
+        )
+
+    return build
+
+
+def rule_ids(report):
+    return [f.rule.rule_id for f in report.findings]
+
+
+def findings_of(report, rule_id):
+    return [f for f in report.findings if f.rule.rule_id == rule_id]

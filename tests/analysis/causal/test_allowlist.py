@@ -1,0 +1,65 @@
+"""The causal allowlist stays minimal and every entry justifies itself."""
+
+import pytest
+
+from repro.analysis.causal.allowlist import (
+    CAUSAL_ALLOWLIST,
+    Exemption,
+    exemption_for,
+    partition,
+)
+from repro.analysis.causal.model import CausalFinding, FlowStep, ND_STATE
+
+
+def _finding(file="src/repro/trace/profiler.py", symbol="Profiler.lap"):
+    return CausalFinding(
+        rule=ND_STATE,
+        file=file,
+        line=10,
+        message="test finding",
+        path=(FlowStep(file, 10, "source"),),
+        symbol=symbol,
+    )
+
+
+def test_allowlist_stays_minimal():
+    # Guard against the exemption set quietly growing: the tree is clean
+    # without any, so the seeded set is exactly empty.  Adding an entry
+    # means editing this test — a reviewed decision.
+    assert CAUSAL_ALLOWLIST == ()
+
+
+def test_every_entry_carries_a_reason():
+    for entry in CAUSAL_ALLOWLIST:
+        assert entry.reason.strip(), f"unreasoned allowlist entry: {entry}"
+
+
+def test_unreasoned_exemption_cannot_be_constructed():
+    with pytest.raises(ValueError, match="non-empty reason"):
+        Exemption("ND201", "trace/profiler.py", "", "")
+    with pytest.raises(ValueError, match="non-empty reason"):
+        Exemption("ND201", "trace/profiler.py", "", "   ")
+
+
+def test_exemption_matches_rule_suffix_and_symbol():
+    entry = Exemption(
+        "ND201", "trace/profiler.py", "Profiler", "profiler timings are observability-only"
+    )
+    assert entry.matches(_finding())
+    assert not entry.matches(_finding(file="src/repro/runtime/task.py"))
+    assert not entry.matches(_finding(symbol="Other.method"))
+    other_rule = _finding()
+    assert exemption_for(other_rule, allowlist=(entry,)) is entry
+    assert exemption_for(other_rule, allowlist=()) is None
+
+
+def test_partition_moves_matches_to_exempted_with_reason():
+    entry = Exemption(
+        "ND201", "trace/profiler.py", "", "profiler timings are observability-only"
+    )
+    live_finding = _finding(file="src/repro/runtime/task.py")
+    exempt_finding = _finding()
+    live, exempted = partition([exempt_finding, live_finding], allowlist=(entry,))
+    assert live == [live_finding]
+    assert exempted == [(exempt_finding, entry)]
+    assert exempted[0][1].reason

@@ -1,0 +1,92 @@
+"""ND203: determinant kinds recorded but never consumed on replay."""
+
+from tests.analysis.causal.conftest import findings_of
+
+DETS = """
+class Determinant:
+    kind = "base"
+
+
+class ShinyDeterminant(Determinant):
+    kind = "shiny"
+
+
+class UsefulDeterminant(Determinant):
+    kind = "useful"
+"""
+
+RECORDER = """
+from mini.dets import ShinyDeterminant, UsefulDeterminant
+
+
+class Recorder:
+    def __init__(self, log):
+        self.log = log
+
+    def record(self, value):
+        self.log.append_main(ShinyDeterminant())
+        self.log.append_main(UsefulDeterminant())
+"""
+
+CONSUMER_USEFUL_ONLY = """
+def replay(entry):
+    if entry.kind == "useful":
+        return entry.value
+    return None
+"""
+
+
+def test_recorded_but_never_replayed_is_dead(mini_tree):
+    report = mini_tree(
+        {
+            "dets.py": DETS,
+            "recorder.py": RECORDER,
+            "consumer.py": CONSUMER_USEFUL_ONLY,
+        }
+    )
+    hits = findings_of(report, "ND203")
+    assert len(hits) == 1, report.render()
+    finding = hits[0]
+    assert finding.symbol == "ShinyDeterminant"
+    # Anchored at the recording site, not the class definition.
+    assert finding.file.endswith("recorder.py")
+    assert any(step.file.endswith("dets.py") for step in finding.path)
+
+
+def test_kind_literal_in_consumer_counts_as_replayed(mini_tree):
+    consumer = CONSUMER_USEFUL_ONLY + '\n\ndef also(entry):\n    return entry.kind == "shiny"\n'
+    report = mini_tree(
+        {"dets.py": DETS, "recorder.py": RECORDER, "consumer.py": consumer}
+    )
+    assert findings_of(report, "ND203") == [], report.render()
+
+
+def test_class_reference_in_consumer_counts_as_replayed(mini_tree):
+    consumer = (
+        "import mini.dets\n\n\n"
+        "def replay(entry):\n"
+        "    return isinstance(entry, mini.dets.ShinyDeterminant) or "
+        'entry.kind == "useful"\n'
+    )
+    report = mini_tree(
+        {"dets.py": DETS, "recorder.py": RECORDER, "consumer.py": consumer}
+    )
+    assert findings_of(report, "ND203") == [], report.render()
+
+
+def test_never_recorded_kind_is_not_flagged(mini_tree):
+    # A defined-but-unused determinant class records nothing, so nothing
+    # piggybacks and there is nothing to replay: not a finding.
+    report = mini_tree({"dets.py": DETS, "consumer.py": CONSUMER_USEFUL_ONLY})
+    assert findings_of(report, "ND203") == [], report.render()
+
+
+def test_import_only_reference_does_not_count_as_replay(mini_tree):
+    # Importing the class in a consumer without ever touching it is not
+    # consumption — the import line is excluded from the vocabulary.
+    consumer = "from mini.dets import ShinyDeterminant\n" + CONSUMER_USEFUL_ONLY
+    report = mini_tree(
+        {"dets.py": DETS, "recorder.py": RECORDER, "consumer.py": consumer}
+    )
+    hits = findings_of(report, "ND203")
+    assert [f.symbol for f in hits] == ["ShinyDeterminant"], report.render()

@@ -1,0 +1,125 @@
+"""ND210: phase-begin/phase-end well-nesting on every exit edge."""
+
+from tests.analysis.causal.conftest import findings_of
+
+UNCOVERED_RAISE = """
+class Coordinator:
+    def __init__(self, trace):
+        self.trace = trace
+
+    def _emit(self, kind, **fields):
+        self.trace.emit(kind, **fields)
+
+    def step(self, thunk):
+        self._emit("phase-begin", phase="restore")
+        if thunk is None:
+            raise ValueError("no thunk")
+        result = thunk()
+        self._emit("phase-end", phase="restore", status="ok")
+        return result
+"""
+
+EARLY_RETURN = """
+class Coordinator:
+    def _emit(self, kind, **fields):
+        pass
+
+    def step(self, ready):
+        self._emit("phase-begin", phase="fetch")
+        if not ready:
+            return None
+        self._emit("phase-end", phase="fetch", status="ok")
+        return ready
+"""
+
+WELL_FORMED = """
+class Coordinator:
+    def _emit(self, kind, **fields):
+        pass
+
+    def step(self, thunk):
+        self._emit("phase-begin", phase="restore")
+        try:
+            result = thunk()
+        except TimeoutError:
+            self._emit("phase-end", phase="restore", status="timeout")
+            return None
+        self._emit("phase-end", phase="restore", status="ok")
+        return result
+"""
+
+MARKER_STYLE = """
+class ReplayCoordinator:
+    def _emit(self, kind, **fields):
+        pass
+
+    def recover(self, victim):
+        self._emit("phase-begin", phase="determinant-fetch")
+        self._emit("phase-mark", phase="replay")
+        self._emit("phase-mark", phase="catch-up")
+        return victim
+"""
+
+MISMATCHED = """
+class Coordinator:
+    def _emit(self, kind, **fields):
+        pass
+
+    def step(self):
+        self._emit("phase-begin", phase="restore")
+        self._emit("phase-end", phase="fetch", status="ok")
+"""
+
+DYNAMIC_TOKEN = """
+class Coordinator:
+    def _emit(self, kind, **fields):
+        pass
+
+    def step(self, label, thunk):
+        self._emit("phase-begin", phase=label)
+        try:
+            result = thunk()
+        finally:
+            self._emit("phase-end", phase=label, status="done")
+        return result
+"""
+
+
+def test_raise_with_open_phase_is_flagged(mini_tree):
+    report = mini_tree({"coord.py": UNCOVERED_RAISE})
+    hits = findings_of(report, "ND210")
+    assert hits, report.render()
+    assert "restore" in hits[0].message
+    # The path points back at the phase-begin that stayed open.
+    assert any("opened" in step.description for step in hits[0].path)
+
+
+def test_early_return_with_open_phase_is_flagged(mini_tree):
+    report = mini_tree({"coord.py": EARLY_RETURN})
+    hits = findings_of(report, "ND210")
+    assert hits, report.render()
+    assert "fetch" in hits[0].message
+
+
+def test_every_exit_paired_is_clean(mini_tree):
+    report = mini_tree({"coord.py": WELL_FORMED})
+    assert findings_of(report, "ND210") == [], report.render()
+
+
+def test_marker_style_functions_are_not_checked(mini_tree):
+    # Begin/mark-only functions delegate closing to the next marker (the
+    # PR-5 timeline semantics); only functions emitting phase-end opt in.
+    report = mini_tree({"coord.py": MARKER_STYLE})
+    assert findings_of(report, "ND210") == [], report.render()
+
+
+def test_mismatched_tokens_are_flagged(mini_tree):
+    report = mini_tree({"coord.py": MISMATCHED})
+    hits = findings_of(report, "ND210")
+    assert hits, report.render()
+    assert "mismatched" in hits[0].message
+
+
+def test_dynamic_phase_token_matches_by_expression(mini_tree):
+    report = mini_tree({"coord.py": DYNAMIC_TOKEN})
+    assert findings_of(report, "ND210") == [], report.render()

@@ -1,0 +1,71 @@
+"""ND107 honours inline suppression anywhere in a multi-line construct,
+and duplicate findings across the file/graph engines collapse."""
+
+from repro.analysis import dedupe_reports, lint_file
+
+SNAPSHOT_SET_ITERATION = """
+class Op:
+    def __init__(self):
+        self.items = []
+
+    def snapshot(self):
+        return {
+            value
+            for value in self.items  # ndlint: disable=ND107
+        }
+
+    def snapshot_state(self):
+        return {
+            value
+            for value in self.items
+        }
+"""
+
+
+def test_nd107_suppressed_set_iteration_in_snapshot_method(tmp_path):
+    # Regression: the disable comment sits on an *interior* line of the
+    # multi-line set comprehension; before RawFinding carried end_lineno the
+    # engine only consulted the construct's first line and missed it.
+    path = tmp_path / "op.py"
+    path.write_text(SNAPSHOT_SET_ITERATION)
+    report = lint_file(path)
+    flagged = [f for f in report.findings if f.rule.rule_id == "ND107"]
+    suppressed = [f for f in report.suppressed if f.rule.rule_id == "ND107"]
+    assert len(suppressed) == 1, report.render()
+    assert len(flagged) == 1  # the uncommented twin still fires
+    assert flagged[0].line > suppressed[0].line
+
+
+def test_nd107_suppression_on_single_line_still_works(tmp_path):
+    path = tmp_path / "op.py"
+    path.write_text(
+        "class Op:\n"
+        "    def snapshot(self):\n"
+        "        return {1, 2, 3}  # ndlint: disable=ND107\n"
+    )
+    report = lint_file(path)
+    assert not [f for f in report.findings if f.rule.rule_id == "ND107"]
+    assert [f for f in report.suppressed if f.rule.rule_id == "ND107"]
+
+
+def test_dedupe_reports_drops_cross_engine_duplicates(tmp_path):
+    # The same file swept twice (as `lint all` does when a graph UDF lives
+    # in an already-linted module) reports each finding once.
+    path = tmp_path / "op.py"
+    path.write_text(
+        "import time\n\n\ndef op(record, ctx):\n    ctx.collect(time.time())\n"
+    )
+    first, second = lint_file(path), lint_file(path)
+    assert first.findings and second.findings
+    dedupe_reports([first, second])
+    assert len(first.findings) == 1
+    assert second.findings == []
+
+
+def test_dedupe_reports_keeps_distinct_findings(tmp_path):
+    a, b = tmp_path / "a.py", tmp_path / "b.py"
+    a.write_text("import time\n\n\ndef op(r, ctx):\n    ctx.collect(time.time())\n")
+    b.write_text("import time\n\n\ndef op(r, ctx):\n    ctx.collect(time.time())\n")
+    ra, rb = lint_file(a), lint_file(b)
+    dedupe_reports([ra, rb])
+    assert ra.findings and rb.findings  # different files: both stay
