@@ -35,10 +35,17 @@ Entry = Tuple[float, int, str, str]
 class ScheduleTracer:
     """Rolling hash (and optional full trace) of one environment's schedule."""
 
-    __slots__ = ("_hash", "entries", "keep_trace", "steps")
+    __slots__ = ("_hash", "_buffer", "entries", "keep_trace", "steps")
+
+    #: How many entry reprs to accumulate before one hash.update call.
+    #: Batching feeds blake2b the identical byte stream (concatenation of
+    #: per-entry reprs), so digests are unchanged — it only amortises the
+    #: per-call overhead over the hottest per-event path in the simulator.
+    _BATCH = 256
 
     def __init__(self, keep_trace: bool = True):
         self._hash = hashlib.blake2b(digest_size=8)
+        self._buffer: List[str] = []
         self.entries: List[Entry] = []
         self.keep_trace = keep_trace
         self.steps = 0
@@ -50,12 +57,20 @@ class ScheduleTracer:
             type(event).__name__,
             getattr(event, "name", ""),
         )
-        self._hash.update(repr(entry).encode())
+        buffer = self._buffer
+        buffer.append(repr(entry))
+        if len(buffer) >= self._BATCH:
+            self._hash.update("".join(buffer).encode())
+            buffer.clear()
         self.steps += 1
         if self.keep_trace:
             self.entries.append(entry)
 
     def digest(self) -> str:
+        buffer = self._buffer
+        if buffer:
+            self._hash.update("".join(buffer).encode())
+            buffer.clear()
         return self._hash.hexdigest()
 
     def __repr__(self) -> str:

@@ -1,0 +1,33 @@
+"""Performance benchmarking for the simulator itself (``repro bench``).
+
+Two halves, both consumed by CI's perf job:
+
+* :mod:`repro.bench.golden` — the determinism gate.  A fixed seeded
+  workload whose kernel schedule hash, sink output, and trace export are
+  pinned byte-for-byte; any optimisation that changes them is a correctness
+  regression, not a speedup.
+* :mod:`repro.bench.perf` — the speed trajectory.  Named suites mirroring
+  the paper's figure workloads, timed end-to-end and reported as
+  simulated-records per wall-second (``BENCH_perf.json``).
+"""
+
+from repro.bench.golden import EXPECTED, GoldenDigests, check_goldens, run_golden
+from repro.bench.perf import (
+    BASELINE,
+    SUITES,
+    SuiteResult,
+    perf_payload,
+    run_suite,
+)
+
+__all__ = [
+    "EXPECTED",
+    "GoldenDigests",
+    "check_goldens",
+    "run_golden",
+    "BASELINE",
+    "SUITES",
+    "SuiteResult",
+    "perf_payload",
+    "run_suite",
+]

@@ -6,6 +6,8 @@
     python -m repro trace [--mode clonos|flink|both] [--out DIR] [--check]
     python -m repro memory
     python -m repro table1
+    python -m repro bench [--suite NAME ...] [--json BENCH_perf.json] [--golden-only]
+    python -m repro profile [SUITE] [--top N] [--json]
     python -m repro lint [all | q5 | examples | path/to/file.py ...] [--strict]
     python -m repro verify-static [--json] [--bench BENCH_static.json] [DIR ...]
     python -m repro sanitize [all | quickstart | q3 ...]
@@ -27,7 +29,9 @@ against the validated recovery ladder (see README, "Artifact integrity").
 ``trace`` records a fig6-style failure run on the causal event bus, exports
 JSONL + Chrome-trace/Perfetto JSON, and prints each recovery incident's
 per-phase breakdown plus the sim profiler's wall-clock hot spots (see
-README, "Observability").
+README, "Observability").  ``bench`` times the named perf suites and checks
+the golden determinism digests (see ``repro.bench``); ``profile`` runs one
+suite under the sim-aware profiler and prints its wall-clock hot spots.
 """
 
 from __future__ import annotations
@@ -313,6 +317,88 @@ def _query_graph(name: str):
     log = DurableLog()
     external = _LintProbeService() if name == "Q13" else None
     return QUERIES[name](log, external=external)
+
+
+def _cmd_bench(args) -> int:
+    """Time the perf suites and check the golden determinism digests.
+
+    Exit codes: 0 all suites ran and goldens match; 1 golden drift (a
+    determinism regression — the hard failure CI gates on).
+    """
+    import json as json_module
+
+    from repro.bench import SUITES, check_goldens, perf_payload, run_suite
+
+    print("golden determinism check...", flush=True)
+    golden_failures = check_goldens()
+    for failure in golden_failures:
+        print(f"GOLDEN DRIFT: {failure}", file=sys.stderr)
+    if not golden_failures:
+        print("golden digests: OK (schedule, sink, trace byte-identical)")
+    if args.golden_only:
+        return 1 if golden_failures else 0
+
+    names = args.suites or list(SUITES)
+    results = []
+    for name in names:
+        print(f"suite {name}: running...", flush=True)
+        result = run_suite(name)
+        print(
+            f"suite {name}: {result.wall_clock_s:.2f}s wall, "
+            f"{result.records_per_wall_second:,.0f} simulated records/s"
+        )
+        results.append(result)
+    payload = perf_payload(results, golden_failures)
+    total = payload["total_wall_clock_s"]
+    speedup = payload.get("speedup_vs_baseline")
+    line = f"total: {total}s"
+    if speedup is not None:
+        line += f" ({speedup}x vs pre-optimisation baseline)"
+    print(line)
+    if args.json:
+        Path(args.json).write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"bench written: {args.json}", file=sys.stderr)
+    return 1 if golden_failures else 0
+
+
+def _cmd_profile(args) -> int:
+    """Run one perf suite under the sim-aware profiler; print hot spots."""
+    import json as json_module
+    import time as time_module
+
+    from repro.bench import SUITES
+    from repro.trace import merge_profiles, profiling
+
+    spec = SUITES[args.suite]
+    started = time_module.perf_counter()
+    with profiling() as profilers:
+        spec.runner()
+    wall = time_module.perf_counter() - started
+    merged = merge_profiles(profilers)
+    if args.json:
+        payload = {
+            "bench": "profile",
+            "suite": spec.name,
+            "wall_clock_s": round(wall, 3),
+            "kernel_steps": merged.steps,
+            "attributed_ms": round(merged.total_ms(), 1),
+            "rows": [
+                {
+                    "where": row.name,
+                    "calls": row.calls,
+                    "total_ms": round(row.total_ms, 2),
+                    "mean_us": round(row.mean_us, 1),
+                }
+                for row in merged.rows(args.top)
+            ],
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"suite {spec.name}: {wall:.2f}s wall ({spec.description})")
+        print(merged.report(top=args.top))
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -712,6 +798,40 @@ def build_parser() -> argparse.ArgumentParser:
     pt = sub.add_parser("table1", help="consistency vs determinism matrix")
     pt.add_argument("--events", type=int, default=4000)
     pt.set_defaults(fn=_cmd_table1)
+
+    pb = sub.add_parser(
+        "bench", help="perf suites + golden determinism digests"
+    )
+    pb.add_argument(
+        "--suite",
+        dest="suites",
+        action="append",
+        choices=["fig5", "fig6-single", "fig6-multi"],
+        help="suite to run (repeatable; default: all)",
+    )
+    pb.add_argument(
+        "--json", metavar="PATH", help="write results as JSON (e.g. BENCH_perf.json)"
+    )
+    pb.add_argument(
+        "--golden-only",
+        action="store_true",
+        help="only check the golden digests (the fast CI determinism gate)",
+    )
+    pb.set_defaults(fn=_cmd_bench)
+
+    pp = sub.add_parser(
+        "profile", help="run one perf suite under the sim-aware profiler"
+    )
+    pp.add_argument(
+        "suite",
+        nargs="?",
+        default="fig5",
+        choices=["fig5", "fig6-single", "fig6-multi"],
+        help="suite to profile (default: fig5)",
+    )
+    pp.add_argument("--top", type=int, default=15, help="rows to show")
+    pp.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    pp.set_defaults(fn=_cmd_profile)
 
     pl = sub.add_parser("lint", help="NDLint: static nondeterminism check")
     pl.add_argument("targets", nargs="*",

@@ -27,6 +27,26 @@ MAIN = "main"
 #: Rolling-CRC seed for an empty epoch (any fixed nonzero constant works).
 _CRC_SEED = 0x1EDC6F41
 
+#: Shared empty-entries sentinel (never mutated; avoids allocating an empty
+#: list on every miss in the delta assembly hot loop).
+_NO_ENTRIES: List["Determinant"] = []
+
+
+def _det_fp(det: Determinant) -> int:
+    """Content fingerprint of a determinant, memoised on the object.
+
+    Safe because determinants are immutable once appended and deltas forward
+    them *by reference*: origin and every replica fold the identical object,
+    so one computation serves them all.  Out-of-band tampering (the chaos
+    engine) clears the memo on the object it mutates, and :meth:`EpochLog.
+    verify` always recomputes from scratch, so detection is unaffected.
+    """
+    fp = getattr(det, "_fp_memo", None)
+    if fp is None:
+        fp = fingerprint(det)
+        det._fp_memo = fp
+    return fp
+
 
 def queue_log_name(channel_index: int) -> str:
     return f"queue:{channel_index}"
@@ -42,27 +62,70 @@ class EpochLog:
     def __init__(self):
         self._epochs: Dict[int, List[Determinant]] = {}
         self.bytes_held = 0
+        #: Monotone change counter: bumped whenever an entry is added (by
+        #: append or merge).  Dispatch cursors use it to skip whole logs that
+        #: have not changed since a channel's last delta, which is the common
+        #: case once determinant sharing fans bundles out.
+        self.version = 0
         #: Rolling per-epoch content fingerprint, maintained incrementally
         #: by every API-mediated append/merge.  Out-of-band mutation (the
         #: chaos engine's determinant truncation) leaves it stale, which is
         #: exactly what :meth:`verify` detects.
         self._crcs: Dict[int, int] = {}
+        #: Cumulative wire-byte prefix per epoch (``_cum[e][i]`` = bytes of
+        #: ``entries[0..i]``), recorded at append/merge time — determinants
+        #: are serialized into the log exactly once, so the append-time size
+        #: is the size every later delta ships.  Lets delta assembly price a
+        #: slice in O(1) instead of re-walking every determinant.
+        self._cum: Dict[int, List[int]] = {}
+        self._sorted_epochs: Optional[List[int]] = None
+        #: Per-output-channel dispatch state, owned by the CausalLogManager
+        #: holding this log: channel -> ``[version at last delta,
+        #: {epoch: entries sent}]``.  Logs are never shared between managers
+        #: (merges copy into private lists), so keeping the cursor on the log
+        #: replaces the tuple-keyed global cursor dict the delta hot loop
+        #: used to hash into.
+        self._chan: Dict[int, List[Any]] = {}
 
     def append(self, epoch: int, determinant: Determinant) -> int:
         """Append and return the entry's index within its epoch."""
-        entries = self._epochs.setdefault(epoch, [])
+        entries = self._epochs.get(epoch)
+        if entries is None:
+            entries = self._epochs[epoch] = []
+            self._cum[epoch] = []
+            self._sorted_epochs = None
+        size = determinant.wire_size()
+        cum = self._cum[epoch]
+        cum.append((cum[-1] if cum else 0) + size)
         entries.append(determinant)
-        self.bytes_held += determinant.wire_size()
+        self.version += 1
+        self.bytes_held += size
         self._crcs[epoch] = combine(
-            self._crcs.get(epoch, _CRC_SEED), fingerprint(determinant)
+            self._crcs.get(epoch, _CRC_SEED), _det_fp(determinant)
         )
         return len(entries) - 1
 
     def entries(self, epoch: int) -> List[Determinant]:
-        return self._epochs.get(epoch, [])
+        """Entries of ``epoch`` — possibly a shared empty list; callers must
+        treat the result as read-only."""
+        found = self._epochs.get(epoch)
+        return found if found is not None else _NO_ENTRIES
+
+    def slice_bytes(self, epoch: int, start: int, end: int) -> int:
+        """Wire bytes of ``entries(epoch)[start:end]`` in O(1), from the
+        append-time prefix sums."""
+        if start >= end:
+            return 0
+        cum = self._cum[epoch]
+        return cum[end - 1] - (cum[start - 1] if start else 0)
 
     def epochs(self) -> List[int]:
-        return sorted(self._epochs)
+        """Epochs in ascending order.  The returned list is a cached view —
+        callers must not mutate it."""
+        cached = self._sorted_epochs
+        if cached is None:
+            cached = self._sorted_epochs = sorted(self._epochs)
+        return cached
 
     def length(self, epoch: int) -> int:
         return len(self._epochs.get(epoch, ()))
@@ -72,29 +135,45 @@ class EpochLog:
         stale = [e for e in self._epochs if e < epoch]
         dropped = sum(len(self._epochs[e]) for e in stale)
         for e in stale:
-            self.bytes_held -= sum(d.wire_size() for d in self._epochs[e])
+            cum = self._cum.pop(e, None)
+            if cum:
+                self.bytes_held -= cum[-1]
+            else:
+                self.bytes_held -= sum(d.wire_size() for d in self._epochs[e])
             del self._epochs[e]
             self._crcs.pop(e, None)
+        if stale:
+            self._sorted_epochs = None
         return dropped
 
     def merge_slice(self, epoch: int, base_index: int, entries: List[Determinant]) -> None:
         """Idempotent merge of a delta slice: extend the epoch's entries with
         whatever part of ``entries`` lies beyond what we already hold."""
-        stored = self._epochs.setdefault(epoch, [])
-        if base_index > len(stored):
+        stored = self._epochs.get(epoch)
+        if stored is None:
+            stored = self._epochs[epoch] = []
+            self._cum[epoch] = []
+            self._sorted_epochs = None
+        have = len(stored)
+        if base_index > have:
             raise DeterminantLogError(
-                f"delta gap: have {len(stored)} entries of epoch {epoch}, "
+                f"delta gap: have {have} entries of epoch {epoch}, "
                 f"delta starts at {base_index}"
             )
-        new_from = len(stored) - base_index
+        new_from = have - base_index
         if new_from < len(entries):
             fresh = entries[new_from:]
             stored.extend(fresh)
-            self.bytes_held += sum(d.wire_size() for d in fresh)
+            self.version += 1
+            cum = self._cum.setdefault(epoch, [])
+            before = total = cum[-1] if cum else 0
             crc = self._crcs.get(epoch, _CRC_SEED)
             for det in fresh:
-                crc = combine(crc, fingerprint(det))
+                total += det.wire_size()
+                cum.append(total)
+                crc = combine(crc, _det_fp(det))
             self._crcs[epoch] = crc
+            self.bytes_held += total - before
 
     def verify(self, name: str = "") -> None:
         """Raise :class:`IntegrityError` if any epoch's entries no longer
@@ -161,6 +240,9 @@ def merge_bundles(bundles: List[LogBundle]) -> LogBundle:
             for epoch in log.epochs():
                 if log.length(epoch) > target.length(epoch):
                     target._epochs[epoch] = list(log.entries(epoch))
+                    target._cum[epoch] = list(log._cum.get(epoch, ()))
+                    target._sorted_epochs = None
+                    target.version += 1
     return merged
 
 
@@ -194,8 +276,9 @@ class CausalLogManager:
         self.current_epoch = 0
         #: causal store: upstream task_id -> (distance, LogBundle)
         self.store: Dict[str, Tuple[int, LogBundle]] = {}
-        #: dispatch cursors: (channel, task_id, log_name, epoch) -> entries sent
-        self._cursors: Dict[Tuple[int, str, str, int], int] = {}
+        #: cached _shareable_bundles result; invalidated when the store
+        #: gains a task or a distance improves (both rare after warm-up).
+        self._share_cache: Optional[List[Tuple[str, int, LogBundle]]] = None
         #: total determinant bytes shipped (for the memory/overhead metrics).
         self.delta_bytes_sent = 0
         #: epochs below this are truncated (checkpoint complete); late deltas
@@ -226,6 +309,9 @@ class CausalLogManager:
     def _shareable_bundles(self) -> List[Tuple[str, int, LogBundle]]:
         """Bundles to piggyback: own (distance 0) + stored ones with
         distance < dsd - 1 ... i.e. whose *receiver* distance stays <= dsd."""
+        cached = self._share_cache
+        if cached is not None:
+            return cached
         bundles: List[Tuple[str, int, LogBundle]] = [(self.task_id, 0, self.bundle)]
         for task_id, (distance, bundle) in self.store.items():
             limit = self.dsd if self.dsd is not None else None
@@ -235,6 +321,7 @@ class CausalLogManager:
             # within the sharing depth at the receiver.
             if limit is None or distance + 2 <= limit:
                 bundles.append((task_id, distance, bundle))
+        self._share_cache = bundles
         return bundles
 
     def delta_for_dispatch(self, channel_index: int) -> Tuple[List[DeltaSlice], int]:
@@ -242,44 +329,79 @@ class CausalLogManager:
         if not self.enabled:
             return [], 0
         slices: List[DeltaSlice] = []
+        append = slices.append
+        nbytes = 0
         for task_id, _distance, bundle in self._shareable_bundles():
             for log_name, log in bundle.logs.items():
+                version = log.version
+                chan = log._chan
+                state = chan.get(channel_index)
+                if state is None:
+                    # version starts at 0 and only grows, so -1 forces the
+                    # first walk.
+                    state = chan[channel_index] = [-1, {}]
+                elif state[0] == version:
+                    # Unchanged since this channel's last delta: the log
+                    # gained no entries, skip the per-epoch cursor walk.
+                    continue
+                sent_by_epoch = state[1]
                 for epoch in log.epochs():
-                    key = (channel_index, task_id, log_name, epoch)
-                    sent = self._cursors.get(key, 0)
-                    entries = log.entries(epoch)
-                    if sent < len(entries):
-                        slices.append(
-                            (task_id, log_name, epoch, sent, list(entries[sent:]))
-                        )
-                        self._cursors[key] = len(entries)
-        nbytes = delta_wire_size(slices)
+                    entries = log._epochs[epoch]
+                    count = len(entries)
+                    sent = sent_by_epoch.get(epoch, 0)
+                    if sent < count:
+                        append((task_id, log_name, epoch, sent, entries[sent:]))
+                        sent_by_epoch[epoch] = count
+                        nbytes += 12 + log.slice_bytes(epoch, sent, count)
+                state[0] = version
         self.delta_bytes_sent += nbytes
         return slices, nbytes
 
     def merge_delta(self, slices: Iterable[DeltaSlice], sender_task_id: str) -> None:
         """Receiver side: store the piggybacked determinants *before* the
         buffer's records are processed (the always-no-orphans discipline)."""
+        store = self.store
+        truncated_before = self.truncated_before
+        # Slices of one delta arrive grouped by origin task and log (the
+        # dispatch loop iterates bundle by bundle, log by log), so caching
+        # the last-resolved bundle/log saves the lookups per slice.
+        last_task: Optional[str] = None
+        last_bundle: Optional[LogBundle] = None
+        last_log_name: Optional[str] = None
+        last_log: Optional[EpochLog] = None
         for task_id, log_name, epoch, base_index, entries in slices:
-            if epoch < self.truncated_before:
+            if epoch < truncated_before:
                 # The checkpoint-complete RPC raced ahead of this delta: the
                 # epoch is already stable, its determinants are obsolete.
                 continue
-            if task_id == sender_task_id:
-                distance = 0
-            else:
-                prior = self.store.get(task_id)
-                distance = prior[0] if prior is not None else 1
-            if task_id not in self.store:
-                self.store[task_id] = (distance, LogBundle())
-            else:
-                # Keep the shortest observed distance.
-                old_distance, bundle = self.store[task_id]
-                self.store[task_id] = (min(old_distance, distance), bundle)
+            if task_id != last_task:
+                prior = store.get(task_id)
+                if prior is None:
+                    distance = 0 if task_id == sender_task_id else 1
+                    last_bundle = LogBundle()
+                    store[task_id] = (distance, last_bundle)
+                    self._share_cache = None
+                else:
+                    # Keep the shortest observed distance.
+                    old_distance, last_bundle = prior
+                    distance = 0 if task_id == sender_task_id else old_distance
+                    if distance < old_distance:
+                        store[task_id] = (distance, last_bundle)
+                        self._share_cache = None
+                last_task = task_id
+                last_log_name = None
+            if log_name != last_log_name:
+                last_log = last_bundle.log(log_name)
+                last_log_name = log_name
+            # Fully-redundant fast path: several upstream channels forward
+            # the same origin slices, so most arrive already held.  This is
+            # exactly merge_slice's no-op condition, checked without the
+            # call.
+            stored = last_log._epochs.get(epoch)
+            if stored is not None and base_index + len(entries) <= len(stored):
+                continue
             try:
-                self.store[task_id][1].log(log_name).merge_slice(
-                    epoch, base_index, entries
-                )
+                last_log.merge_slice(epoch, base_index, entries)
             except DeterminantLogError as exc:
                 raise DeterminantLogError(
                     f"{self.task_id}: merging delta of task={task_id} "
@@ -291,6 +413,13 @@ class CausalLogManager:
         if sender_task_id in self.store:
             _d, bundle = self.store[sender_task_id]
             self.store[sender_task_id] = (0, bundle)
+            self._share_cache = None
+
+    def _all_logs(self) -> Iterable[EpochLog]:
+        """Every log this manager holds: own bundle + causal store."""
+        yield from self.bundle.logs.values()
+        for _distance, bundle in self.store.values():
+            yield from bundle.logs.values()
 
     # -- recovery support -----------------------------------------------------------
 
@@ -302,9 +431,8 @@ class CausalLogManager:
         """A downstream task reconnected after recovery: its causal store may
         be empty, so the next buffers on this channel must re-carry the full
         log.  Receivers merge by index, so over-sending is idempotent."""
-        stale = [key for key in self._cursors if key[0] == channel_index]
-        for key in stale:
-            del self._cursors[key]
+        for log in self._all_logs():
+            log._chan.pop(channel_index, None)
 
     # -- epoch lifecycle ---------------------------------------------------------------
 
@@ -320,9 +448,11 @@ class CausalLogManager:
         dropped = self.bundle.truncate_before(checkpoint_id)
         for _task_id, (_distance, bundle) in self.store.items():
             dropped += bundle.truncate_before(checkpoint_id)
-        stale = [k for k in self._cursors if k[3] < checkpoint_id]
-        for k in stale:
-            del self._cursors[k]
+        for log in self._all_logs():
+            for state in log._chan.values():
+                sent_by_epoch = state[1]
+                for e in [e for e in sent_by_epoch if e < checkpoint_id]:
+                    del sent_by_epoch[e]
         return dropped
 
     def size_bytes(self) -> int:

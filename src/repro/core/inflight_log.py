@@ -94,6 +94,12 @@ class InFlightLog(InFlightLogSink):
             env, pool_bytes, cost.buffer_size_bytes, name=f"inflight:{name}"
         )
         self._entries: Dict[int, Deque[LogEntry]] = {}
+        #: Spill-candidate queue in append order (== epoch-sorted order:
+        #: a log lives for one task incarnation, whose epoch only grows).
+        #: Entries already spilled or truncated are dropped lazily on pop,
+        #: which keeps candidate selection O(batch) instead of re-scanning
+        #: every logged entry per spiller wake-up.
+        self._spill_queue: Deque[LogEntry] = deque()
         self._spill_signal = Signal(env)
         self._spiller_proc = None
         if policy in (SpillPolicy.SPILL_THRESHOLD, SpillPolicy.SPILL_EPOCH):
@@ -129,6 +135,8 @@ class InFlightLog(InFlightLogSink):
                 if self.pool.available_fraction < self.threshold:
                     self._spill_signal.pulse()
         self._entries.setdefault(buffer.epoch, deque()).append(entry)
+        if self._spiller_proc is not None:
+            self._spill_queue.append(entry)
         if buffer.epoch > self._current_max_epoch:
             self._current_max_epoch = buffer.epoch
             if self.policy is SpillPolicy.SPILL_EPOCH:
@@ -145,24 +153,27 @@ class InFlightLog(InFlightLogSink):
     # -- spilling ---------------------------------------------------------------------
 
     def _spill_candidates(self) -> List[LogEntry]:
+        # Only the (single) spiller process calls this, and it spills every
+        # returned entry before asking again, so popping candidates off the
+        # queue is safe: a popped entry is never a candidate twice.
+        queue = self._spill_queue
+        candidates: List[LogEntry] = []
         if self.policy is SpillPolicy.SPILL_EPOCH:
             # Spill every entry of epochs older than the current one.
-            return [
-                entry
-                for epoch in sorted(self._entries)
-                if epoch < self._current_max_epoch
-                for entry in self._entries[epoch]
-                if not entry.spilled
-            ]
+            current = self._current_max_epoch
+            while queue and queue[0].buffer.epoch < current:
+                entry = queue.popleft()
+                if not entry.spilled:
+                    candidates.append(entry)
+            return candidates
         # SPILL_THRESHOLD: oldest-first until back above the threshold.
-        candidates = []
         deficit = int(
             (self.threshold - self.pool.available_fraction) * self.pool.total_buffers
         ) + 1
-        for epoch in sorted(self._entries):
-            for entry in self._entries[epoch]:
-                if not entry.spilled and len(candidates) < deficit:
-                    candidates.append(entry)
+        while queue and len(candidates) < deficit:
+            entry = queue.popleft()
+            if not entry.spilled:
+                candidates.append(entry)
         return candidates
 
     def _spiller(self):

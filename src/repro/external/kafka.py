@@ -98,18 +98,26 @@ class GeneratedTopicPartition(TopicPartition):
     def read(
         self, offset: int, max_count: int, now: float = float("inf")
     ) -> List[Tuple[int, float, Any]]:
+        stop = offset + max_count
         end = self.end_offset(now)
-        out = []
-        for off in range(offset, min(offset + max_count, end)):
-            out.append((off, self._arrival(off), self.gen_fn(self.partition, off)))
-        return out
+        if end < stop:
+            stop = end
+        if stop <= offset:
+            return []
+        gen_fn = self.gen_fn
+        partition = self.partition
+        rate = self.rate
+        return [
+            (off, off / rate, gen_fn(partition, off)) for off in range(offset, stop)
+        ]
 
     def end_offset(self, now: float = float("inf")) -> int:
+        total = self.total
         if now == float("inf"):
-            return self.total if self.total is not None else 0
+            return total if total is not None else 0
         available = int(now * self.rate) + 1
-        if self.total is not None:
-            available = min(available, self.total)
+        if total is not None and total < available:
+            return total
         return available
 
     def next_arrival_after(self, offset: int) -> Optional[float]:

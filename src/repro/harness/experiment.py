@@ -8,8 +8,10 @@ inject failures at scheduled instants, run, and return an
 
 from __future__ import annotations
 
+import gc
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.config import JobConfig
 from repro.external.http import ExternalService
@@ -26,6 +28,29 @@ from repro.metrics.collectors import (
 from repro.runtime.jobmanager import JobManager
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStreams
+
+
+@contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Pause cyclic GC for the duration of a simulation run.
+
+    The event loop allocates tens of millions of short-lived objects whose
+    refcounts go to zero immediately; generational collection buys nothing
+    there but costs ~30% of wall time re-scanning the survivors (the event
+    heap, logs, and stores).  Nothing in the simulator relies on collection
+    *timing* — resources are released explicitly, never via finalizers — so
+    pausing is schedule-neutral.  The previous GC state is restored on exit
+    and one collection sweeps whatever cyclic garbage (mostly abandoned
+    generator frames) accumulated.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+            gc.collect()
 
 
 class SourceProgressSampler:
@@ -161,17 +186,22 @@ def run_experiment(
     for when, victim in kills:
         env.schedule_callback(when, lambda name=victim: jm.kill_task(name))
 
-    if duration is not None:
-        deadline = env.now + duration
-        while env.peek() <= deadline:
-            if jm.crashed:
-                name, exc = jm.crashed[0]
-                raise RuntimeError(f"task {name} crashed: {exc!r}") from exc
-            if jm._job_finished():
-                break
-            env.step()
-    else:
-        jm.run_until_done(limit=limit)
+    with _gc_paused():
+        if duration is not None:
+            deadline = env.now + duration
+            queue = env._queue
+            step = env.step
+            crashed = jm.crashed
+            finished = jm._job_finished
+            while queue and queue[0][0] <= deadline:
+                if crashed:
+                    name, exc = crashed[0]
+                    raise RuntimeError(f"task {name} crashed: {exc!r}") from exc
+                if finished():
+                    break
+                step()
+        else:
+            jm.run_until_done(limit=limit)
     out_sampler.stop()
     in_sampler.stop()
     return ExperimentResult(

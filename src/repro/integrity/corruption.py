@@ -177,6 +177,13 @@ def _tamper_determinant(det):
     from repro.integrity.fingerprint import _all_slots
 
     clone = copy.deepcopy(det)
+    # The clone's content is about to change: drop any memoised fingerprint
+    # (deepcopy carries it over) so every later digest reflects the tampered
+    # content, exactly as if the determinant had been built this way.
+    try:
+        del clone._fp_memo
+    except AttributeError:
+        pass
     for slot in _all_slots(type(clone)):
         value = getattr(clone, slot, None)
         if isinstance(value, int) and not isinstance(value, bool):

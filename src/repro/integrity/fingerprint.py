@@ -34,6 +34,16 @@ def combine(crc: int, part: int) -> int:
 
 
 def _scalar_bytes(value):
+    # Exact-type dispatch first: scalars dominate artifact payloads, and the
+    # fast checks produce byte-for-byte the same tags as the general chain
+    # below (bool is excluded because True.__class__ is bool, not int).
+    t = value.__class__
+    if t is int:
+        return b"i" + str(value).encode()
+    if t is float:
+        return b"f" + repr(value).encode()
+    if t is str:
+        return b"s" + value.encode("utf-8", "surrogatepass")
     if value is None:
         return b"N"
     if value is True:
@@ -51,14 +61,58 @@ def _scalar_bytes(value):
     return None
 
 
+_slots_cache: dict = {}
+_sorted_slots_cache: dict = {}
+
+#: Slots that hold memoised digests, not content.  They are invisible to the
+#: fingerprint walk (a fingerprint must not depend on whether it was already
+#: computed) and to corruption injection (tampering a cache is not tampering
+#: the artifact).
+MEMO_SLOTS = frozenset({"_fp_memo"})
+
+
 def _all_slots(cls) -> list:
+    """Content slot names of ``cls`` in MRO declaration order (cached).
+
+    Order matters to callers outside this module (corruption injection picks
+    the *first* eligible slot), so this stays declaration-ordered; the
+    fingerprint walk uses the separately cached sorted view below.
+    """
+    names = _slots_cache.get(cls)
+    if names is not None:
+        return names
     names = []
     for klass in cls.__mro__:
         slots = klass.__dict__.get("__slots__", ())
         if isinstance(slots, str):
             slots = (slots,)
-        names.extend(slots)
+        names.extend(s for s in slots if s not in MEMO_SLOTS)
+    _slots_cache[cls] = names
     return names
+
+
+def _sorted_slots(cls) -> list:
+    names = _sorted_slots_cache.get(cls)
+    if names is None:
+        names = sorted(set(_all_slots(cls)))
+        _sorted_slots_cache[cls] = names
+    return names
+
+
+#: Per-class object-walk metadata: (crc of the type tag, [(slot name,
+#: crc of the slot-name bytes), ...]).  Pure caching of values the walk
+#: recomputed per object — the resulting fingerprints are unchanged.
+_class_meta_cache: dict = {}
+
+
+def _class_meta(cls):
+    meta = _class_meta_cache.get(cls)
+    if meta is None:
+        tag_crc = _crc(b"O" + cls.__name__.encode())
+        slot_meta = [(name, _crc(name.encode())) for name in _sorted_slots(cls)]
+        meta = (tag_crc, slot_meta)
+        _class_meta_cache[cls] = meta
+    return meta
 
 
 def fingerprint(value) -> int:
@@ -100,16 +154,15 @@ def _fp(value, stack) -> int:
         for key_fp, val_fp in items:
             crc = combine(combine(crc, key_fp), val_fp)
         return crc
-    tag = b"O" + type(value).__name__.encode()
+    tag_crc, slot_meta = _class_meta(type(value))
     state = getattr(value, "__dict__", None)
     if state:
-        return combine(_crc(tag), _fp(state, stack))
-    slots = _all_slots(type(value))
-    if slots:
-        crc = _crc(tag)
-        for name in sorted(set(slots)):
+        return combine(tag_crc, _fp(state, stack))
+    if slot_meta:
+        crc = tag_crc
+        for name, name_crc in slot_meta:
             if hasattr(value, name):
-                crc = combine(crc, _crc(name.encode()))
+                crc = combine(crc, name_crc)
                 crc = combine(crc, _fp(getattr(value, name), stack))
         return crc
-    return _crc(tag)
+    return tag_crc

@@ -25,6 +25,7 @@ class NetworkBuffer:
         "epoch",
         "elements",
         "size_bytes",
+        "n_records",
         "delta",
         "delta_bytes",
         "pool",
@@ -37,6 +38,9 @@ class NetworkBuffer:
         self.epoch = epoch
         self.elements: List[Any] = []
         self.size_bytes = 0
+        #: Records appended so far — kept incrementally (writers bump it on
+        #: their direct-append fast path too) so dispatch stays O(1).
+        self.n_records = 0
         #: Causal-log delta piggybacked on this buffer (list of
         #: (task_id, epoch, determinants) tuples); None outside Clonos mode.
         self.delta: Optional[list] = None
@@ -48,7 +52,7 @@ class NetworkBuffer:
 
     @property
     def record_count(self) -> int:
-        return sum(1 for el in self.elements if getattr(el, "is_record", False))
+        return self.n_records
 
     @property
     def total_bytes(self) -> int:
@@ -58,6 +62,8 @@ class NetworkBuffer:
     def append(self, element: Any, size: int) -> None:
         self.elements.append(element)
         self.size_bytes += size
+        if getattr(element, "is_record", False):
+            self.n_records += 1
 
     def fits(self, size: int, capacity: int) -> bool:
         return self.size_bytes + size <= capacity

@@ -32,10 +32,36 @@ def register_sizer(cls: Type, fn: Callable[[Any], int]) -> None:
 
 
 def payload_size(value: Any) -> int:
-    """Estimated wire size of a plain Python value."""
-    sizer = _custom_sizers.get(type(value))
+    """Estimated wire size of a plain Python value.
+
+    Dispatches on the exact type first (one dict probe covers both the
+    registered domain sizers and the primitive cases), falling back to the
+    original isinstance chain for subclasses and structural cases.  The
+    returned sizes are identical to the pre-optimisation model — sizes feed
+    buffer cut points and therefore the deterministic schedule.
+    """
+    t = value.__class__
+    sizer = _custom_sizers.get(t)
     if sizer is not None:
         return sizer(value)
+    if t is int or t is float:
+        return 8
+    if t is str or t is bytes:
+        return 4 + len(value)
+    if t is tuple or t is list:
+        # Explicit loop with inlined scalar cases: record payloads are small
+        # tuples of ints/floats/strings, and the genexpr + recursive-call
+        # overhead dominated this function's cost in profiles.
+        total = 4
+        for v in value:
+            vt = v.__class__
+            if vt is int or vt is float:
+                total += 8
+            elif vt is str or vt is bytes:
+                total += 4 + len(v)
+            else:
+                total += payload_size(v)
+        return total
     if value is None:
         return 1
     if isinstance(value, bool):
@@ -65,10 +91,15 @@ def payload_size(value: Any) -> int:
     return 16  # opaque fallback
 
 
+_RECORD_OVERHEAD = ELEMENT_FRAME_BYTES + RECORD_HEADER_BYTES
+
+
 def element_size(element: Any) -> int:
     """Wire size of a stream element (record, watermark, barrier)."""
+    if element.__class__ is StreamRecord:
+        return _RECORD_OVERHEAD + payload_size(element.value)
     if isinstance(element, StreamRecord):
-        return ELEMENT_FRAME_BYTES + RECORD_HEADER_BYTES + payload_size(element.value)
+        return _RECORD_OVERHEAD + payload_size(element.value)
     if isinstance(element, (Watermark, CheckpointBarrier)):
         return ELEMENT_FRAME_BYTES + 8
     if isinstance(element, EndOfStream):

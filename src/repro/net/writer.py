@@ -181,7 +181,9 @@ class OutputChannel:
                 delta, delta_bytes = self.causal_ctx.delta_for_dispatch(self.index)
                 buffer.delta = delta
                 buffer.delta_bytes = delta_bytes
-                entries = sum(len(s[4]) for s in delta) if delta else 0
+                entries = 0
+                for s in delta:
+                    entries += len(s[4])
                 self.charge(
                     self.cost.serialize_time(delta_bytes)
                     + entries * self.cost.determinant_cpu_cost
@@ -190,7 +192,7 @@ class OutputChannel:
         if self.inflight_log is not None:
             self.charge(self.cost.inflight_append_cost)
         self.buffers_sent += 1
-        self.records_sent += buffer.record_count
+        self.records_sent += buffer.n_records
         if self.inflight_log is not None:
             buffer.recycle_on_consume = False
             yield from self.inflight_log.append(self.index, buffer, sent=not parked)
@@ -241,7 +243,45 @@ class RecordWriter:
         """Generator: serialise and route one record."""
         size = element_size(record)
         self.charge(self.cost.serialize_time(size))
-        for index in self.partitioner.select(record, len(self.channels)):
+        selected = self.partitioner.select(record, len(self.channels))
+        yield from self._append_to(selected, record, size)
+
+    def emit_or_gen(self, record: StreamRecord):
+        """Non-blocking fast path for :meth:`emit`.
+
+        Appends ``record`` into every selected channel's current buffer when
+        that cannot block (buffer exists, element fits, no forced cuts) and
+        returns None.  If some channel needs a dispatch/new buffer — work
+        that may wait on pool credits — returns a generator the caller must
+        drive to finish the remaining channels.  Identical observable
+        behaviour to ``emit``; the fast path just skips the generator
+        machinery that dominates per-record cost.
+        """
+        size = element_size(record)
+        self.charge(self.cost.serialize_time(size))
+        channels = self.channels
+        selected = self.partitioner.select(record, len(channels))
+        capacity = self.cost.buffer_size_bytes
+        done = 0
+        for index in selected:
+            channel = channels[index]
+            current = channel.current
+            if (
+                current is None
+                or channel.forced_cuts
+                or current.size_bytes + size > capacity
+            ):
+                break
+            current.elements.append(record)
+            current.size_bytes += size
+            current.n_records += 1
+            done += 1
+        else:
+            return None
+        return self._append_to(selected[done:], record, size)
+
+    def _append_to(self, selected, record: StreamRecord, size: int):
+        for index in selected:
             yield from self.channels[index].append_element(record, size)
 
     def broadcast(self, element: StreamElement):

@@ -85,20 +85,28 @@ class KafkaSource(SourceOperator):
             return [], self.log.retry_at(now)
         entries = self._partition.read(self.offset, max_records, now=now)
         records = []
-        for offset, arrival, value in entries:
+        if entries:
+            ingestion_time = self.ingestion_time
+            timestamp_fn = self.timestamp_fn
+            key_fn = self.key_fn
+            observe = self._wm_gen.observe
+            append = records.append
+            for offset, arrival, value in entries:
+                if ingestion_time:
+                    # Ingestion time IS computational: per-record causal read.
+                    event_time = ctx.services.timestamp()
+                elif timestamp_fn is not None:
+                    event_time = timestamp_fn(value, arrival)
+                else:
+                    event_time = arrival
+                key = key_fn(value) if key_fn is not None else None
+                observe(event_time)
+                append(
+                    StreamRecord(
+                        value, timestamp=event_time, key=key, created_at=arrival
+                    )
+                )
             self.offset = offset + 1
-            if self.ingestion_time:
-                # Ingestion time IS computational: per-record causal read.
-                event_time = ctx.services.timestamp()
-            elif self.timestamp_fn is not None:
-                event_time = self.timestamp_fn(value, arrival)
-            else:
-                event_time = arrival
-            key = self.key_fn(value) if self.key_fn is not None else None
-            self._wm_gen.observe(event_time)
-            records.append(
-                StreamRecord(value, timestamp=event_time, key=key, created_at=arrival)
-            )
         next_arrival = self._partition.next_arrival_after(self.offset)
         return records, next_arrival
 

@@ -152,6 +152,10 @@ class JobManager:
         self._status_waiters: Dict[str, List[Tuple[Callable, Callable]]] = {}
 
         self._finished_tasks: Set[str] = set()
+        #: Lazily cached sink-vertex names: vertex topology never changes
+        #: after construction (recovery swaps tasks *inside* vertices), so
+        #: the hot ``_job_finished`` poll need not rescan every vertex.
+        self._sink_names: Optional[frozenset] = None
         self.done_signal = Signal(env)
         self._checkpoint_proc = None
         #: NDLint report of the last ``submit(lint=...)`` call, if any.
@@ -879,8 +883,12 @@ class JobManager:
             self.done_signal.pulse()
 
     def _job_finished(self) -> bool:
-        sinks = [v.name for v in self.vertices.values() if v.is_sink]
-        return bool(sinks) and all(name in self._finished_tasks for name in sinks)
+        sinks = self._sink_names
+        if sinks is None:
+            sinks = self._sink_names = frozenset(
+                v.name for v in self.vertices.values() if v.is_sink
+            )
+        return bool(sinks) and sinks <= self._finished_tasks
 
     # -- harness helpers -------------------------------------------------------------------------
 
@@ -891,15 +899,22 @@ class JobManager:
 
     def run_until_done(self, limit: float = 3600.0) -> float:
         """Drive the simulation until the job finishes; returns the time."""
-        self.env.process(self.wait_done(), name="wait-done")
-        deadline = self.env.now + limit
-        while not self._job_finished():
-            if self.crashed:
-                name, exc = self.crashed[0]
+        env = self.env
+        env.process(self.wait_done(), name="wait-done")
+        deadline = env.now + limit
+        # Hot loop: hoist the bound methods and the queue; peek() is inlined
+        # (an empty queue peeks +inf, which always exceeds the deadline).
+        queue = env._queue
+        step = env.step
+        crashed = self.crashed
+        finished = self._job_finished
+        while not finished():
+            if crashed:
+                name, exc = crashed[0]
                 raise JobError(f"task {name} crashed: {exc!r}") from exc
-            if self.env.peek() > deadline:
+            if not queue or queue[0][0] > deadline:
                 raise JobError(f"job did not finish within {limit}s of simulated time")
-            self.env.step()
+            step()
         if SANITIZER.enabled:
             SANITIZER.on_job_done(self)
         return self.env.now

@@ -378,11 +378,14 @@ class StreamTask:
                     continue
                 records, next_arrival = self.operator.poll(self.ctx, self.SOURCE_BATCH)
                 if records:
+                    record_cpu_cost = self.cost.record_cpu_cost
                     for record in records:
                         self.offset_in_epoch += 1
                         self.records_processed += 1
-                        self.charge(self.cost.record_cpu_cost)
-                        yield from self._emit_record(record)
+                        self._cpu_debt += record_cpu_cost
+                        tail = self._emit_nowait(record)
+                        if tail is not None:
+                            yield from tail
                     yield from self._maybe_emit_watermark()
                     yield from self._pay()
                     continue
@@ -436,13 +439,23 @@ class StreamTask:
                 self.causal.merge_delta(
                     buffer.delta, self.input_infos[channel_index].upstream_task
                 )
-                entries = sum(len(s[4]) for s in buffer.delta)
+                entries = 0
+                for s in buffer.delta:
+                    entries += len(s[4])
                 self.charge(
                     self.cost.serialize_time(buffer.delta_bytes)
                     + entries * self.cost.determinant_cpu_cost
                 )
             self.causal.append_main(OrderDeterminant(channel_index, buffer.seq))
             self.charge(self.cost.determinant_cpu_cost)
+        # Per-record fast path: _process_record is inlined and emission uses
+        # the non-blocking writer path, so a record that does not cut a
+        # buffer costs zero generator frames and zero kernel interactions.
+        ctx = self.ctx
+        input_index = self.input_infos[channel_index].input_index
+        set_current_key = self.backend.set_current_key
+        operator_process = self.operator.process
+        record_cpu_cost = self.cost.record_cpu_cost
         for element in buffer.elements:
             if element.is_record:
                 if self.seep_dedup:
@@ -453,7 +466,22 @@ class StreamTask:
                         self._seep_drop[channel_index] -= 1
                         self.seep_records_dropped += 1
                         continue
-                yield from self._process_record(element, channel_index)
+                self.offset_in_epoch += 1
+                self.records_processed += 1
+                self._cpu_debt += record_cpu_cost
+                ctx.current_key = element.key
+                ctx.element_timestamp = element.timestamp
+                ctx.element_created_at = element.created_at
+                ctx.input_index = input_index
+                set_current_key(element.key)
+                operator_process(element, ctx)
+                pending = ctx.pending_output
+                if pending:
+                    ctx.pending_output = []
+                    for record in pending:
+                        tail = self._emit_nowait(record)
+                        if tail is not None:
+                            yield from tail
             elif element.is_watermark:
                 yield from self._handle_watermark(channel_index, element.timestamp)
             elif element.is_barrier:
@@ -566,14 +594,44 @@ class StreamTask:
     # -- emission ----------------------------------------------------------------------------
 
     def _drain_output(self):
-        if not self.ctx.pending_output:
+        ctx = self.ctx
+        if not ctx.pending_output:
             return
-        pending, self.ctx.pending_output = self.ctx.pending_output, []
+        pending = ctx.pending_output
+        ctx.pending_output = []
         for record in pending:
-            yield from self._emit_record(record)
+            tail = self._emit_nowait(record)
+            if tail is not None:
+                yield from tail
 
     def _emit_record(self, record: StreamRecord):
-        for edge in self.out_edges:
+        tail = self._emit_nowait(record)
+        if tail is not None:
+            yield from tail
+
+    def _emit_nowait(self, record: StreamRecord):
+        """Emit ``record`` on every out edge without touching the kernel when
+        possible.  Returns None when fully emitted, else a generator that the
+        caller must drive to completion (the blocking remainder)."""
+        out_edges = self.out_edges
+        for position, edge in enumerate(out_edges):
+            out = record
+            selector = edge.key_selector
+            if selector is not None:
+                out = StreamRecord(
+                    record.value,
+                    timestamp=record.timestamp,
+                    key=selector(record.value),
+                    created_at=record.created_at,
+                )
+            tail = edge.writer.emit_or_gen(out)
+            if tail is not None:
+                return self._emit_tail(tail, record, position + 1)
+        return None
+
+    def _emit_tail(self, tail, record: StreamRecord, next_edge: int):
+        yield from tail
+        for edge in self.out_edges[next_edge:]:
             out = record
             if edge.key_selector is not None:
                 out = StreamRecord(

@@ -11,7 +11,7 @@ from collections import deque
 from typing import Any, Deque, Generic, List, Optional, TypeVar
 
 from repro.errors import SimulationError
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, has_live_callbacks
 
 T = TypeVar("T")
 
@@ -106,16 +106,17 @@ class Store(Generic[T]):
     def cancel_waiters(self, exc: Exception) -> None:
         """Fail every pending get/put (used on channel teardown).
 
-        Waits whose process has since been killed have no callbacks left;
-        failing those would surface the exception to nobody (the kernel
-        raises unwaited failures), so they are discarded instead."""
+        Waits whose process has since been killed have no *live* callbacks
+        left (a detached process leaves an inert tombstone); failing those
+        would surface the exception to nobody (the kernel raises unwaited
+        failures), so they are discarded instead."""
         while self._getters:
             ev = self._getters.popleft()
-            if ev.callbacks:
+            if has_live_callbacks(ev):
                 ev.fail(exc)
         while self._putters:
             ev, _item = self._putters.popleft()
-            if ev.callbacks:
+            if has_live_callbacks(ev):
                 ev.fail(exc)
 
     def _admit_putter(self) -> None:

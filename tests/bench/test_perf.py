@@ -1,0 +1,38 @@
+"""Unit tests for the perf-suite bookkeeping (no suites are run here)."""
+
+from repro.bench.perf import BASELINE, SUITES, SuiteResult, perf_payload
+
+
+def test_suites_cover_the_baseline():
+    assert set(BASELINE) == set(SUITES)
+
+
+def test_records_per_wall_second():
+    result = SuiteResult(name="fig5", wall_clock_s=2.0, simulated_records=144000)
+    assert result.records_per_wall_second == 72000.0
+
+
+def test_perf_payload_shape():
+    results = [
+        SuiteResult(name="fig5", wall_clock_s=2.0, simulated_records=144000),
+        SuiteResult(name="fig6-multi", wall_clock_s=50.0, simulated_records=140000),
+    ]
+    payload = perf_payload(results, golden_failures=[])
+    assert payload["bench"] == "perf"
+    assert payload["golden_ok"] is True
+    assert payload["total_wall_clock_s"] == 52.0
+    fig5 = payload["suites"]["fig5"]
+    assert fig5["simulated_records"] == 144000
+    assert fig5["records_per_wall_second"] == 72000.0
+    assert fig5["baseline_wall_clock_s"] == BASELINE["fig5"]
+    assert fig5["speedup_vs_baseline"] == round(BASELINE["fig5"] / 2.0, 2)
+    # The headline number: combined speedup over the pinned baseline.
+    expected_total = BASELINE["fig5"] + BASELINE["fig6-multi"]
+    assert payload["baseline_total_wall_clock_s"] == expected_total
+    assert payload["speedup_vs_baseline"] == round(expected_total / 52.0, 2)
+
+
+def test_perf_payload_reports_golden_drift():
+    payload = perf_payload([], golden_failures=["clonos: schedule_hash drifted"])
+    assert payload["golden_ok"] is False
+    assert payload["golden_failures"] == ["clonos: schedule_hash drifted"]

@@ -8,10 +8,11 @@ recovery to read the damage) must end exactly-once or with an announced
 the offending seed).  The control arm (``validate=False``) proves the layer
 is load-bearing: the same plan then produces a silent violation."""
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.chaos.plan import CORRUPTION_KINDS, random_plan
+from repro.errors import JobError
 from repro.integrity.soak import run_integrity_experiment
 
 LIMIT = 120.0
@@ -31,6 +32,21 @@ def describe(result):
     )
 
 
+# Known-bad seeds found by overnight soaks, pinned as expected failures so
+# (a) every run re-checks them instead of waiting for Hypothesis to
+# rediscover them, and (b) the run that fixes them fails loudly here and
+# must remove the pin.  Both are tracked as the ROADMAP §0 open item
+# "integrity soak flakes".
+@example(seed=1655).xfail(
+    reason="known-bad seed (ROADMAP §0): corrupted restore slips through "
+    "silently — verdict=violation, missing=41",
+    raises=AssertionError,
+)
+@example(seed=64853).xfail(
+    reason="known-bad seed (ROADMAP §0): recovery livelock, job misses the "
+    "120s simulated-time deadline",
+    raises=JobError,
+)
 @given(seed=st.integers(min_value=0, max_value=10**6))
 @settings(max_examples=8, deadline=None)
 def test_corruption_is_detected_or_announced_never_silent(seed):
