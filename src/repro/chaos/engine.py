@@ -251,6 +251,35 @@ class ChaosEngine:
         chaos.drop_next += spec.count
         self._note(spec, link.name)
 
+    def _apply_recovery_freeze(self, spec: FaultSpec) -> None:
+        """Kill the victim *and* partition every one of its input links, so
+        the replacement's in-flight replay can never receive a buffer: the
+        injected recovery-stall scenario the liveness watchdog exists for.
+        ``duration`` bounds the partition (0 = frozen forever — the job can
+        then only end via the watchdog's announced stall verdict)."""
+        name = self._pick_task(spec.target)
+        if name is None:
+            self._skip(spec, "no matching task")
+            return
+        vertex = self.jm.vertices[name]
+        task = vertex.task
+        if task is None or task.status not in (
+            TaskStatus.RUNNING,
+            TaskStatus.RECOVERING,
+        ):
+            self._skip(spec, f"status {task.status.value if task else 'absent'}")
+            return
+        if not vertex.in_links:
+            self._skip(spec, "victim has no input links to freeze")
+            return
+        for _in_flat, _inp, _up, link, _up_flat in vertex.in_links:
+            chaos = self._chaos_for(link)
+            chaos.partitioned = True
+            if spec.duration:
+                self.env.schedule_callback(spec.duration, chaos.heal)
+        self._note(spec, name)
+        self.jm.kill_task(name, force=True)
+
     def _apply_rpc_chaos(self, spec: FaultSpec) -> None:
         rng = random.Random(
             derive_seed(self.plan.seed, f"rpc-chaos@{spec.at:g}")

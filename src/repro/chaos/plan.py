@@ -28,6 +28,10 @@ FAULT_KINDS = frozenset(
         "dfs_outage",       # DFS fails every operation for `duration`
         "dfs_brownout",     # DFS `factor` times slower for `duration`
         "external_faults",  # external service error/slow window
+        # -- liveness (watchdog stress; not in the random default palette) ---
+        "recovery_freeze",  # kill + partition the victim's inputs: replay
+                            # can never make progress (for `duration`; 0 =
+                            # forever) — the recovery-stall scenario
         # -- artifact corruption (silent until a validating read) ------------
         "blob_corruption",          # silently corrupt a stored checkpoint
         "torn_write",               # mark a checkpoint blob torn (partial write)

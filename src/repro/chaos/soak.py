@@ -35,6 +35,7 @@ from repro.workloads.synthetic import synthetic_chain
 #: Recovery-event kinds that announce degraded (at-least-once) semantics.
 DEGRADATION_MARKERS = (
     "degraded:global_rollback",
+    "degraded:recovery_stalled",
     "orphan-fallback",
     "global-restart-begin",
     "replay-diverged",

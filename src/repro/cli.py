@@ -13,6 +13,7 @@
     python -m repro sanitize [all | quickstart | q3 ...]
     python -m repro chaos [--seeds 0:20 | --seed 9] [--max-faults 4]
     python -m repro audit [--inject K] [--soak | --seeds 0:8]
+    python -m repro transparency [--topologies pair-p1,...] [--json PATH]
 
 Every experiment subcommand prints the reproduced table/series of the
 corresponding figure; see EXPERIMENTS.md for the mapping to the paper.
@@ -26,6 +27,10 @@ protocol").  ``audit`` sweeps every stored artifact and verifies its
 content fingerprint — clean sweep exits 0; ``--inject K`` self-tests the
 sweep against seeded corruption; ``--soak`` runs corruption fault plans
 against the validated recovery ladder (see README, "Artifact integrity").
+``transparency`` enumerates every failure point on small topologies and
+asserts the recovered output is observationally equivalent to the
+failure-free baseline — any silent divergence exits 1 (see README,
+"Failure transparency as a checkable property").
 ``trace`` records a fig6-style failure run on the causal event bus, exports
 JSONL + Chrome-trace/Perfetto JSON, and prints each recovery incident's
 per-phase breakdown plus the sim profiler's wall-clock hot spots (see
@@ -739,6 +744,91 @@ def _cmd_audit_soak(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_transparency(args) -> int:
+    import json
+
+    from repro.transparency import (
+        default_topologies,
+        run_transparency_suite,
+        suite_payload,
+    )
+
+    topologies = default_topologies()
+    if args.topologies:
+        wanted = {name.strip() for name in args.topologies.split(",")}
+        known = {t.name for t in topologies}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"unknown topologies: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        topologies = [t for t in topologies if t.name in wanted]
+
+    def on_case(case):
+        if args.verbose or not case.ok:
+            print(
+                f"    {case.point.label:32s} {case.outcome:24s} "
+                f"miss={case.missing} dup={case.duplicated} "
+                f"dur={case.duration:.2f}s"
+            )
+
+    from repro.errors import JobError
+
+    try:
+        reports = run_transparency_suite(
+            topologies,
+            boundaries=args.boundaries,
+            compound=not args.no_compound,
+            limit=args.limit,
+            on_case=on_case,
+        )
+    except JobError as exc:
+        print(f"transparency: internal error: {exc}", file=sys.stderr)
+        return 2
+
+    print("failure transparency: exhaustive failure-point exploration")
+    rows = [
+        (
+            r.topology,
+            r.operators,
+            r.tasks,
+            len(r.cases),
+            r.transparent,
+            r.announced,
+            r.skipped,
+            len(r.violations),
+        )
+        for r in reports
+    ]
+    print(
+        render_table(
+            ["topology", "ops", "tasks", "cases", "transparent",
+             "announced", "skipped", "violations"],
+            rows,
+        )
+    )
+    payload = suite_payload(reports)
+    for case in payload["violating_cases"]:
+        print(
+            f"VIOLATION {case['topology']} {case['case']}: {case['outcome']} "
+            f"(missing={case['missing']} dup={case['duplicated']})",
+            file=sys.stderr,
+        )
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    total = payload["cases_total"]
+    print(
+        f"\n{total} cases: {payload['transparent']} transparent, "
+        f"{payload['announced_degradation']} announced degradations, "
+        f"{payload['skipped']} skipped, {payload['violations']} violations"
+    )
+    return 1 if payload["violations"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -902,6 +992,26 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--events", type=int, default=1200,
                     help="records per source partition")
     pa.set_defaults(fn=_cmd_audit)
+
+    pf = sub.add_parser(
+        "transparency",
+        help="exhaustive failure-point exploration: assert observational "
+             "equivalence of recovered output on small topologies",
+    )
+    pf.add_argument("--topologies", default=None,
+                    help="comma list restricting the default topology set "
+                         "(pair-p1, chain3-p1, chain4-p1, chain3-p2)")
+    pf.add_argument("--boundaries", type=int, default=2,
+                    help="epoch boundaries probed per task (default 2)")
+    pf.add_argument("--no-compound", action="store_true", dest="no_compound",
+                    help="skip the compound (overlapping-recovery) kill pairs")
+    pf.add_argument("--limit", type=float, default=60.0,
+                    help="simulated-seconds deadline per case")
+    pf.add_argument("--json", default=None, metavar="PATH",
+                    help="write the suite payload (BENCH_transparency.json)")
+    pf.add_argument("--verbose", action="store_true",
+                    help="print every case, not just violations")
+    pf.set_defaults(fn=_cmd_transparency)
     return parser
 
 

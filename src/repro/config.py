@@ -262,6 +262,37 @@ class IntegrityConfig:
 
 
 @dataclass
+class WatchdogConfig:
+    """Recovery-liveness monitoring (:mod:`repro.recovery.watchdog`).
+
+    The watchdog piggybacks its stall checks on the checkpoint
+    coordinator's existing ticks — it schedules no simulation events of its
+    own, so enabling it cannot perturb a schedule (the golden digests stay
+    byte-identical).  It arms on the first detected failure and watches a
+    job-wide progress fingerprint; a fingerprint frozen for a full stall
+    window is announced as ``degraded:recovery_stalled`` and escalated,
+    and a job that stays wedged despite escalation is killed with a
+    structured :class:`~repro.errors.RecoveryStallError`.
+    """
+
+    enabled: bool = True
+    #: Sim-seconds without any observed progress before the watchdog
+    #: declares a stall.  ``None`` = auto-derive a window longer than every
+    #: healthy quiet period the job can produce: max(3 s, 8x the checkpoint
+    #: interval, 1.2x the effective checkpoint timeout, 2x the recovery
+    #: step deadline + 1 s).
+    stall_timeout: Optional[float] = None
+    #: After the announced stage-1 escalation, how many additional stall
+    #: windows (as a fraction of ``stall_timeout``) to allow the escalation
+    #: before killing the job with :class:`RecoveryStallError`.
+    escalation_grace: float = 1.0
+    #: Announced escalations per job before the watchdog stops re-trying
+    #: and goes terminal: a restart loop that wedges again each time is a
+    #: stall, not progress.
+    escalation_limit: int = 2
+
+
+@dataclass
 class JobConfig:
     """Everything needed to run one streaming job in the simulation."""
 
@@ -293,6 +324,8 @@ class JobConfig:
     checkpoint_timeout: Optional[float] = None
     #: Artifact fingerprints, validated restores, checkpoint retention.
     integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
+    #: Recovery-liveness monitoring (stall detection + escalation).
+    watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
 
     @property
     def effective_checkpoint_timeout(self) -> float:
@@ -310,6 +343,13 @@ class JobConfig:
             raise JobError("heartbeat timeout must be >= interval")
         if self.integrity.retain_checkpoints < 1:
             raise JobError("integrity.retain_checkpoints must be >= 1")
+        if (
+            self.watchdog.stall_timeout is not None
+            and self.watchdog.stall_timeout <= 0
+        ):
+            raise JobError("watchdog.stall_timeout must be positive (or None)")
+        if self.watchdog.escalation_limit < 0 or self.watchdog.escalation_grace < 0:
+            raise JobError("watchdog escalation knobs must be >= 0")
 
     def with_mode(self, mode: FaultToleranceMode, **clonos_overrides) -> "JobConfig":
         """A copy of this config under a different fault-tolerance scheme."""

@@ -34,6 +34,47 @@ class RecoveryError(ReproError):
     """The recovery protocol could not complete."""
 
 
+class RecoveryStallError(JobError):
+    """Recovery (or the post-recovery drain) stopped making progress,
+    structured for tooling.
+
+    Raised by the recovery-liveness watchdog
+    (:class:`repro.recovery.watchdog.RecoveryWatchdog`) when escalation
+    cannot unwedge the job, and by ``JobManager.run_until_done`` when its
+    deadline expires — so a hung run surfaces *where* it was stuck instead
+    of a bare timeout.  Carries the stuck protocol phase, the last sim-time
+    any progress was observed, and every task's replay position at the
+    moment of the stall.  Subclasses :class:`JobError` so existing
+    deadline-handling callers keep working unchanged.
+    """
+
+    def __init__(
+        self,
+        where: str,
+        phase: str,
+        last_progress_at: float,
+        replay_positions: dict,
+        detail: str = None,
+        incident: int = None,
+    ):
+        message = (
+            f"recovery stalled at {where!r} in phase {phase!r} "
+            f"(no progress since t={last_progress_at:g}s"
+        )
+        if incident is not None:
+            message += f", incident #{incident}"
+        message += ")"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.where = where
+        self.phase = phase
+        self.last_progress_at = last_progress_at
+        self.replay_positions = replay_positions
+        self.detail = detail
+        self.incident = incident
+
+
 class ChaosError(ReproError):
     """A fault plan is invalid or targets something that does not exist."""
 

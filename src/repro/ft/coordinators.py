@@ -200,12 +200,39 @@ class BaseCoordinator:
         task = self.jm._build_task(vertex)
         vertex.task = task
         for _edge, channels in vertex.out_links:
-            for flat_idx, _down, link in channels:
+            for flat_idx, down_name, link in channels:
                 channel = task.output_channel_by_flat_index(flat_idx)
                 receiver = link.receiver
                 if receiver is not None:
                     channel.suppress_until_seq = receiver.delivered_seq
+                    # If the surviving receiver is mid-alignment waiting on
+                    # the dead incarnation's barrier, the blocked channels
+                    # can deadlock the whole job (they backpressure the very
+                    # upstreams this replacement needs for replay); cancel
+                    # that alignment -- its cut was aborted on detection.
+                    down_task = self.jm.vertices[down_name].task
+                    if down_task is not None:
+                        down_task.on_upstream_reconnected(receiver.index)
         return task
+
+    def _dismantle(self, vertex, task) -> None:
+        """Tear down a partially-built replacement whose recovery attempt
+        failed before ``task.start``.
+
+        The rebuild already attached the replacement's input channels to the
+        links (the Section 6.2 reconfiguration handshake).  Abandoning it
+        without closing its gate leaves link pumps blocked forever on its
+        credit queues — upstream replay/regeneration fills the orphaned
+        queue, the pump parks inside ``deliver``, and no later incarnation
+        (not even a global restart's) ever receives another buffer on that
+        link.  Failing the abandoned incarnation detaches its receivers and
+        cancels every waiter so the pump recovers, and the next attempt
+        attaches a fresh one."""
+        if vertex.task is task and task.status is TaskStatus.CREATED:
+            task.fail()
+            self.jm.recovery_events.append(
+                (self.env.now, "recovery-incarnation-abandoned", vertex.name)
+            )
 
     def _request_replays(self, vertex, from_epoch: int) -> None:
         """Step 4: ask upstream tasks to replay their in-flight logs.
@@ -276,12 +303,16 @@ class GlobalRollbackCoordinator(BaseCoordinator):
         jm.trace.emit(self.env.now, "phase-mark", "*", phase="task-cancellation")
         # Cancel every surviving task (they stop processing immediately) —
         # including tasks still mid-local-recovery: the restart supersedes
-        # their replay.
+        # their replay.  CREATED tasks are abandoned half-built replacements
+        # (their recovery proc was cancelled between rebuild and start);
+        # they too must be failed so their attached gates release any link
+        # pump blocked on their credit queues.
         for vertex in jm.vertices.values():
             task = vertex.task
             if task is not None and task.status in (
                 TaskStatus.RUNNING,
                 TaskStatus.RECOVERING,
+                TaskStatus.CREATED,
             ):
                 task.fail()
                 jm.cluster.release(vertex.name)
@@ -577,6 +608,7 @@ class ClonosCoordinator(BaseCoordinator):
                 "determinant-fetch",
             )
             if status != "ok":
+                self._dismantle(vertex, task)
                 jm.cluster.release(vertex.name)
                 return status
         if case is RecoveryCase.ORPHANED:

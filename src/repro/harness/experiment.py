@@ -196,6 +196,10 @@ def run_experiment(
             while queue and queue[0][0] <= deadline:
                 if crashed:
                     name, exc = crashed[0]
+                    from repro.errors import RecoveryStallError
+
+                    if isinstance(exc, RecoveryStallError):
+                        raise exc
                     raise RuntimeError(f"task {name} crashed: {exc!r}") from exc
                 if finished():
                     break

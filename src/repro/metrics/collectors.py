@@ -153,6 +153,7 @@ def recovery_summary(
         "rpc_exhausted": count_events(recovery_events, "rpc-exhausted"),
         "dfs_retries": count_events(recovery_events, "dfs-retry"),
         "degradations": count_events(recovery_events, "degraded"),
+        "recovery_stalls": count_events(recovery_events, "recovery-stalled"),
         "spurious_failovers": count_events(recovery_events, "spurious-failover"),
         "standby_losses": count_events(recovery_events, "standby-lost"),
         "standby_reprovisioned": count_events(
@@ -176,6 +177,28 @@ def integrity_summary(jm) -> dict:
         jm.recovery_events, "integrity:epoch-fallback"
     )
     return summary
+
+
+def stall_summary(jm) -> dict:
+    """Recovery-liveness verdict for one run, benchmark ``extra_info``-
+    friendly: ``verdict`` is ``"stalled"`` iff the watchdog detected a
+    frozen progress fingerprint (or the run died on a structured
+    :class:`~repro.errors.RecoveryStallError`), else ``"ok"``."""
+    from repro.errors import RecoveryStallError
+
+    watchdog = getattr(jm, "watchdog", None)
+    stalls = getattr(watchdog, "stalls_detected", 0)
+    stall_crash = any(
+        isinstance(exc, RecoveryStallError) for (_name, exc) in jm.crashed
+    )
+    return {
+        "verdict": "stalled" if (stalls or stall_crash) else "ok",
+        "stalls_detected": stalls,
+        "stall_escalations": getattr(watchdog, "escalations", 0),
+        "stalls_announced": count_events(
+            jm.recovery_events, "degraded:recovery_stalled"
+        ),
+    }
 
 
 def throughput_dip(

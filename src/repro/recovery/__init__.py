@@ -1,0 +1,24 @@
+"""Recovery-liveness monitoring.
+
+A hang is the one recovery failure the rest of the fault-tolerance stack
+cannot announce: every other outcome (retry, fallback, degradation) leaves
+an event trail, but a wedged replay just stops producing events and dies on
+the harness deadline.  :class:`RecoveryWatchdog` turns that silent death
+into a first-class, announced condition — ``degraded:recovery_stalled`` —
+with a structured :class:`~repro.errors.RecoveryStallError` naming the
+stuck phase and every task's replay position.
+"""
+
+from repro.recovery.watchdog import (
+    RecoveryWatchdog,
+    current_phase,
+    replay_positions,
+    stall_diagnostics,
+)
+
+__all__ = [
+    "RecoveryWatchdog",
+    "current_phase",
+    "replay_positions",
+    "stall_diagnostics",
+]

@@ -23,6 +23,7 @@ from repro.errors import (
     FailureInjectionError,
     IntegrityError,
     JobError,
+    RecoveryStallError,
 )
 from repro.external.dfs import DistributedFileSystem
 from repro.integrity.monitor import IntegrityMonitor
@@ -38,6 +39,7 @@ from repro.net.partitioner import (
     RebalancePartitioner,
 )
 from repro.net.writer import OutputChannel, RecordWriter
+from repro.recovery.watchdog import RecoveryWatchdog, stall_diagnostics
 from repro.runtime.cluster import Cluster
 from repro.runtime.task import InputInfo, OutputEdgeInfo, StreamTask, TaskStatus
 from repro.sim.core import Environment
@@ -165,6 +167,9 @@ class JobManager:
         #: (task_name, exception) for tasks that crashed on a bug (as opposed
         #: to injected failures); surfaced by run_until_done.
         self.crashed: List[Tuple[str, BaseException]] = []
+        #: Recovery-liveness monitor: armed on the first detected failure,
+        #: ticked by the checkpoint coordinator (zero events of its own).
+        self.watchdog = RecoveryWatchdog(self)
 
     # -- deployment --------------------------------------------------------------------
 
@@ -451,6 +456,11 @@ class JobManager:
     def _checkpoint_coordinator(self):
         while True:
             yield self.env.timeout(self.config.checkpoint_interval)
+            # Recovery-liveness check rides this loop's existing cadence (it
+            # keeps firing through a wedge: stuck checkpoints abort on their
+            # timeout below and the loop continues), so the watchdog needs
+            # no events of its own and healthy schedules stay byte-identical.
+            self.watchdog.on_tick()
             if self._pending_checkpoint is not None:
                 # No concurrent checkpoints (Section 6.4) — but a checkpoint
                 # stuck past its timeout (lost barrier RPC, DFS outage) is
@@ -864,6 +874,7 @@ class JobManager:
         self.abort_pending_checkpoint()
         self.recovery_events.append((self.env.now, "detected", task_name))
         self.trace.emit(self.env.now, "failure-detected", task_name)
+        self.watchdog.incident_opened(task_name)
         self.coordinator.on_failure_detected(task_name)
 
     # -- task callbacks ----------------------------------------------------------------------
@@ -911,9 +922,19 @@ class JobManager:
         while not finished():
             if crashed:
                 name, exc = crashed[0]
+                if isinstance(exc, RecoveryStallError):
+                    # The watchdog's structured verdict: surface it as-is.
+                    raise exc
                 raise JobError(f"task {name} crashed: {exc!r}") from exc
             if not queue or queue[0][0] > deadline:
-                raise JobError(f"job did not finish within {limit}s of simulated time")
+                # Deadline expiry never dies as a bare timeout: attach the
+                # incident id, the stuck phase, and every task's replay
+                # position (works with the watchdog disabled too).
+                raise stall_diagnostics(
+                    self,
+                    last_progress_at=self.watchdog.last_progress_at,
+                    detail=f"job did not finish within {limit}s of simulated time",
+                )
             step()
         if SANITIZER.enabled:
             SANITIZER.on_job_done(self)

@@ -144,6 +144,10 @@ class StreamTask:
         self._cpu_debt = 0.0
         self._aligning: Optional[int] = None
         self._barriers_received: set = set()
+        #: Checkpoint ids whose alignment was cancelled because an upstream
+        #: died mid-alignment (the coordinator aborted the cut); their
+        #: replayed barriers must be ignored, not re-aligned on.
+        self._cancelled_alignments: set = set()
         self._channels_done: set = set()
         self._last_wm_check = 0.0
         self._acked_checkpoints: set = set()
@@ -291,14 +295,45 @@ class StreamTask:
 
     def _prepare_replay(self) -> None:
         """Step 6 prep: pre-load forced buffer cuts so the network threads
-        rebuild identical buffers (Section 5.2)."""
+        rebuild identical buffers (Section 5.2), and re-anchor each writer's
+        sequence numbering on the logged cuts.
+
+        The checkpoint images ``channel.seq`` *before* the epoch-closing
+        barrier goes out.  When that barrier opened a fresh buffer, the
+        buffer consumed a sequence number the image never saw: regenerated
+        buffers would come out numbered one low, and after the replayed cuts
+        were deduplicated the first buffer of *fresh* records would collide
+        with ``suppress_until_seq`` and be silently dropped.  The
+        output-queue log is authoritative for where replay resumes; with no
+        logged cuts, the only delivered-but-unlogged buffer is the barrier
+        one (its cut belongs to the closed epoch), so its number is skipped.
+        """
         if self.services is not None and hasattr(self.services, "replay_reseed"):
             if self.recovery.has_value("rng"):
                 self.services.replay_reseed()
+        gap_channel = None
         for channel in self.all_output_channels:
             cuts = self.recovery.forced_cuts_for_channel(channel.index)
             channel.forced_cuts.clear()
             channel.forced_cuts.extend(cuts)
+            first = self.recovery.first_replayed_seq(channel.index)
+            if first is not None:
+                channel.seq = first
+                next_fresh_seq = first + len(cuts)
+            else:
+                if channel.seq == channel.suppress_until_seq:
+                    channel.seq += 1
+                next_fresh_seq = channel.seq
+            if next_fresh_seq <= channel.suppress_until_seq and gap_channel is None:
+                gap_channel = channel.index
+        if gap_channel is not None:
+            # The receiver holds delivered buffers beyond anything the
+            # determinant log can regenerate, so exact sender-side dedup is
+            # impossible for that window.  Never guess silently — announce
+            # and regenerate from the sources instead.
+            self.jm.coordinator.degrade(
+                self.name, f"replay-horizon-gap:ch{gap_channel}"
+            )
         if not self.recovery.active:
             self._finish_recovery()
 
@@ -546,6 +581,11 @@ class StreamTask:
             SANITIZER.on_barrier(self.name, channel_index, checkpoint_id)
         if checkpoint_id <= self.epoch:
             return  # duplicate barrier re-delivered by an at-least-once replay
+        if checkpoint_id in self._cancelled_alignments:
+            # This cut was aborted when an upstream died mid-alignment; a
+            # recovered upstream replays its barrier at the logged offset,
+            # but the epoch it would close no longer exists.
+            return
         if self._aligning is None:
             self._aligning = checkpoint_id
             self._barriers_received = set()
@@ -558,6 +598,40 @@ class StreamTask:
             self._aligning = None
             self._barriers_received = set()
             self.gate.unblock_all()
+
+    def on_upstream_reconnected(self, channel_index: int) -> None:
+        """A failed upstream's replacement re-attached to ``channel_index``
+        (the Section 6.2 reconfiguration handshake).
+
+        If this task is mid-alignment and still owes that upstream's barrier,
+        the barrier died with the old incarnation: it re-arrives only after
+        the replacement finishes determinant replay, and replay progress can
+        depend -- through backpressure on the channels this alignment holds
+        shut -- on the alignment releasing first.  That cycle is a
+        distributed deadlock (sink aligned on a dead peer's barrier blocks
+        its live input, which wedges the common upstream mid-send, which can
+        then never serve the replacement's replay request).
+
+        The coordinator aborted the pending cut when it detected the failure
+        (``_on_detected``), so the epoch this alignment would close no longer
+        exists; cancel it task-side and release the blocked channels.  The
+        checkpoint id is remembered so the replayed barrier is dropped
+        instead of starting a fresh, never-completable alignment.
+        """
+        if self._aligning is None or channel_index in self._barriers_received:
+            return
+        if self.recovery.active:
+            # Replay never blocks channels (order determinants dictate the
+            # interleaving), so the alignment holds no credits hostage.
+            return
+        cancelled = self._aligning
+        self._cancelled_alignments.add(cancelled)
+        self._aligning = None
+        self._barriers_received = set()
+        self.jm.recovery_events.append(
+            (self.env.now, f"alignment-cancelled:{cancelled}", self.name)
+        )
+        self.gate.unblock_all()
 
     def _take_checkpoint(self, checkpoint_id: int):
         state_size = self.backend.size_bytes()

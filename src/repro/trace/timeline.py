@@ -333,4 +333,13 @@ def breakdown_extra_info(result: Any, round_to: int = 6) -> Dict[str, Any]:
         info["end_sources"] = sorted(
             {incident.end_source for incident in timeline.incidents}
         )
+    jm = getattr(result, "jm", None)
+    if jm is not None:
+        from repro.metrics.collectors import stall_summary
+
+        stall = stall_summary(jm)
+        # The liveness verdict rides along so a stalled benchmark run is
+        # visible in extra_info, not just in the raised exception.
+        info["verdict"] = stall.pop("verdict")
+        info.update(stall)
     return info

@@ -1,0 +1,469 @@
+"""Exhaustive failure-point exploration on small topologies.
+
+The explorer makes the paper's failure-transparency claim falsifiable on
+graphs small enough to enumerate completely:
+
+1.  Run the topology once with **no** faults.  Harvest the baseline output
+    and, from the trace, every task's per-epoch snapshot instant and every
+    checkpoint-completion instant.
+2.  Enumerate failure points: for each task and each of the first
+    ``boundaries`` completed epochs, kill the task just **before** and just
+    **after** its local snapshot (the two sides of the epoch cut are the
+    classic silent-loss / silent-duplication hazards), plus — with
+    ``compound=True`` — every unordered task pair killed in overlapping
+    recovery (failure-during-ongoing-recovery).
+3.  Re-run the topology once per failure point and verdict the sink output
+    against the baseline's origin projection:
+
+    * ``transparent`` — output observationally equivalent to the
+      failure-free run (origin projection identical: exactly-once).
+    * ``announced-degradation`` — duplicates, but the run *recorded* a
+      degradation marker and lost nothing: the divergence is announced,
+      which the transparency contract permits (at-least-once fallback).
+    * ``violation:*`` — silent loss, silent duplication, foreign records,
+      a recovery stall, or a hang.  Any of these fails the suite.
+
+Every run is fully deterministic (sim time, seeded services), so a
+violating case replays identically from its printed label.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chaos.soak import DEGRADATION_MARKERS, fast_chaos_config
+from repro.config import JobConfig
+from repro.core.output import ExactlyOnceKafkaSink
+from repro.errors import FailureInjectionError, JobError, RecoveryStallError
+from repro.external.kafka import DurableLog
+from repro.graph.logical import JobGraph, JobGraphBuilder
+from repro.operators import KafkaSource
+from repro.runtime.jobmanager import JobManager
+from repro.sim.core import Environment
+from repro.workloads.synthetic import synthetic_chain
+
+#: Kill this close to either side of a snapshot instant.  Half the failure
+#: detector's resolution: close enough that the barrier is in flight,
+#: far enough that float jitter cannot flip pre/post.
+EPSILON = 0.02
+
+#: Second kill of a compound pair lands this long after the first — inside
+#: the first victim's recovery window (detection alone costs ~0.02-0.5s).
+PAIR_STAGGER = 0.08
+
+
+@dataclass(frozen=True)
+class Topology:
+    """One small graph the explorer enumerates exhaustively."""
+
+    name: str
+    build: Callable[[DurableLog], JobGraph] = field(compare=False)
+    parallelism: int = 1
+    n_records: int = 600
+    out_topic: str = "transparency-out"
+    operators: int = 2  # logical operator count, for reporting
+
+    def config(self, limit_interval: float = 0.25) -> JobConfig:
+        # One fixed seed per topology: the baseline and every failure case
+        # must share the failure-free prefix, or snapshot instants harvested
+        # from the baseline would not line up with the case being killed.
+        return fast_chaos_config(seed=11, checkpoint_interval=limit_interval)
+
+
+def _pair_graph(
+    log: DurableLog,
+    parallelism: int,
+    n_records: int,
+    rate: float,
+    out_topic: str,
+) -> JobGraph:
+    """The minimal 2-operator topology: src -> (keyed) -> exactly-once sink."""
+    in_topic = "transparency-in"
+    if (in_topic, 0) not in log._partitions:
+        log.create_generated_topic(
+            in_topic, parallelism, lambda p, off: (p, off), rate, n_records
+        )
+    if (out_topic, 0) not in log._partitions:
+        log.create_topic(out_topic, parallelism)
+    builder = JobGraphBuilder(f"pair-p{parallelism}")
+    stream = builder.source(
+        "src", lambda: KafkaSource(log, in_topic), parallelism=parallelism
+    )
+    stream.key_by(lambda v: v[1] % parallelism).sink(
+        "sink", lambda: ExactlyOnceKafkaSink(log, out_topic)
+    )
+    return builder.build()
+
+
+def _chain_graph(
+    log: DurableLog,
+    depth: int,
+    parallelism: int,
+    n_records: int,
+    rate: float,
+    out_topic: str,
+) -> JobGraph:
+    return synthetic_chain(
+        log,
+        depth=depth,
+        parallelism=parallelism,
+        rate_per_partition=rate,
+        total_per_partition=n_records,
+        state_bytes_per_task=4096,
+        num_keys=8,
+        nondeterministic=True,
+        in_topic="transparency-in",
+        out_topic=out_topic,
+        exactly_once_sink=True,
+    )
+
+
+def default_topologies(rate: float = 1000.0) -> List[Topology]:
+    """The 2-, 3- and 4-operator graphs the suite explores by default."""
+
+    def pair(log, n=600, p=1):
+        return _pair_graph(log, p, n, rate, "transparency-out")
+
+    def chain(depth, p):
+        def build(log, n=600):
+            return _chain_graph(log, depth, p, n, rate, "transparency-out")
+
+        return build
+
+    return [
+        Topology("pair-p1", pair, parallelism=1, operators=2),
+        Topology("chain3-p1", chain(2, 1), parallelism=1, operators=3),
+        Topology("chain4-p1", chain(3, 1), parallelism=1, operators=4),
+        Topology("chain3-p2", chain(2, 2), parallelism=2, operators=3),
+    ]
+
+
+@dataclass(frozen=True)
+class FailurePoint:
+    """One enumerated case: named kill schedule against one topology."""
+
+    label: str
+    kills: Tuple[Tuple[float, str], ...]  # ((sim_time, task_name), ...)
+
+
+@dataclass
+class CaseResult:
+    """One failure point's verdict."""
+
+    point: FailurePoint
+    outcome: str  # "transparent" | "announced-degradation" | "skipped:*" | "violation:*"
+    missing: int = 0
+    duplicated: int = 0
+    extra: int = 0
+    duration: float = 0.0
+    announced: bool = False
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.outcome.startswith("violation")
+
+
+@dataclass
+class Baseline:
+    """Failure-free run artifacts: the equivalence reference."""
+
+    projection: Counter
+    duration: float
+    #: (task, checkpoint_id) -> local snapshot instant
+    snapshot_times: Dict[Tuple[str, int], float]
+    #: checkpoint_id -> completion instant, ascending ids
+    completed: Dict[int, float]
+    tasks: Tuple[str, ...]
+
+
+@dataclass
+class TransparencyReport:
+    """All verdicts for one topology."""
+
+    topology: str
+    operators: int
+    tasks: int
+    expected: int
+    baseline_duration: float
+    cases: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[CaseResult]:
+        return [c for c in self.cases if not c.ok]
+
+    @property
+    def transparent(self) -> int:
+        return sum(c.outcome == "transparent" for c in self.cases)
+
+    @property
+    def announced(self) -> int:
+        return sum(c.outcome == "announced-degradation" for c in self.cases)
+
+    @property
+    def skipped(self) -> int:
+        return sum(c.outcome.startswith("skipped") for c in self.cases)
+
+
+def _deploy(topo: Topology) -> Tuple[Environment, DurableLog, JobManager]:
+    env = Environment()
+    log = DurableLog()
+    graph = topo.build(log)
+    jm = JobManager(env, graph, topo.config())
+    jm.deploy()
+    return env, log, jm
+
+
+def _projection(log: DurableLog, out_topic: str) -> Counter:
+    return Counter((e.value[0], e.value[1]) for e in log.read_all(out_topic))
+
+
+def _expected(topo: Topology) -> set:
+    return {
+        (p, off)
+        for p in range(topo.parallelism)
+        for off in range(topo.n_records)
+    }
+
+
+def run_baseline(topo: Topology, limit: float = 60.0) -> Baseline:
+    """The failure-free reference run; raises on non-exactly-once output
+    (that would be a workload bug, not a transparency violation)."""
+    env, log, jm = _deploy(topo)
+    jm.run_until_done(limit=limit)
+    projection = _projection(log, topo.out_topic)
+    expected = _expected(topo)
+    if set(projection) != expected or any(c != 1 for c in projection.values()):
+        raise JobError(
+            f"transparency baseline for {topo.name!r} is not exactly-once: "
+            f"{len(expected)} expected, {sum(projection.values())} delivered"
+        )
+    snapshot_times: Dict[Tuple[str, int], float] = {}
+    completed: Dict[int, float] = {}
+    for event in jm.trace:
+        if event.kind == "snapshot-taken":
+            cid = event.arg("checkpoint_id")
+            if cid is not None:
+                snapshot_times.setdefault((event.subject, cid), event.time)
+        elif event.kind == "checkpoint-complete":
+            cid = event.arg("checkpoint_id")
+            if cid is not None:
+                completed.setdefault(cid, event.time)
+    return Baseline(
+        projection=projection,
+        duration=env.now,
+        snapshot_times=snapshot_times,
+        completed=dict(sorted(completed.items())),
+        tasks=tuple(sorted(jm.vertices)),
+    )
+
+
+def enumerate_failure_points(
+    baseline: Baseline,
+    boundaries: int = 2,
+    compound: bool = True,
+) -> List[FailurePoint]:
+    """Every case the suite runs for one topology.
+
+    Singles: task x first ``boundaries`` completed epochs x {pre, post}
+    snapshot.  Compounds: every unordered task pair, first victim killed
+    just after its first-epoch snapshot, second victim ``PAIR_STAGGER``
+    later — inside the first recovery.
+    """
+    points: List[FailurePoint] = []
+    epoch_ids = list(baseline.completed)[:boundaries]
+    for task in baseline.tasks:
+        for cid in epoch_ids:
+            snap = baseline.snapshot_times.get((task, cid))
+            if snap is None:
+                continue
+            for side, offset in (("pre", -EPSILON), ("post", EPSILON)):
+                at = max(0.01, snap + offset)
+                points.append(
+                    FailurePoint(
+                        label=f"{task}@cp{cid}-{side}",
+                        kills=((at, task),),
+                    )
+                )
+    if compound and epoch_ids:
+        first = epoch_ids[0]
+        for i, a in enumerate(baseline.tasks):
+            snap_a = baseline.snapshot_times.get((a, first))
+            if snap_a is None:
+                continue
+            for b in baseline.tasks[i + 1 :]:
+                t0 = max(0.01, snap_a + EPSILON)
+                points.append(
+                    FailurePoint(
+                        label=f"pair:{a}+{b}@cp{first}",
+                        kills=((t0, a), (t0 + PAIR_STAGGER, b)),
+                    )
+                )
+    return points
+
+
+def run_case(
+    topo: Topology,
+    point: FailurePoint,
+    expected: set,
+    limit: float = 60.0,
+) -> CaseResult:
+    """One kill schedule against a fresh deployment of the topology."""
+    env, log, jm = _deploy(topo)
+    for at, victim in point.kills:
+        env.schedule_callback(
+            at, lambda name=victim: jm.kill_task(name, force=True)
+        )
+    try:
+        jm.run_until_done(limit=limit)
+    except FailureInjectionError as exc:
+        # The victim finished before the kill could land — nothing to
+        # observe.  Not a pass, not a failure; reported so coverage holes
+        # are visible.
+        return CaseResult(point, "skipped:victim-finished", detail=str(exc))
+    except RecoveryStallError as exc:
+        return CaseResult(
+            point,
+            "violation:recovery-stalled",
+            duration=env.now,
+            detail=str(exc),
+        )
+    except JobError as exc:
+        return CaseResult(
+            point, "violation:hang", duration=env.now, detail=str(exc)
+        )
+
+    landed = len(jm.failures_injected)
+    if landed < len(point.kills):
+        # The victim finished (or the job ended) before every kill could
+        # land, so this point probed nothing.  Reported as a coverage hole,
+        # never silently counted as transparent.
+        return CaseResult(
+            point,
+            "skipped:kill-not-landed",
+            duration=env.now,
+            detail=f"{landed}/{len(point.kills)} kills landed",
+        )
+
+    projection = _projection(log, topo.out_topic)
+    missing = sum(1 for pair in expected if projection[pair] == 0)
+    extra = sum(c for pair, c in projection.items() if pair not in expected)
+    duplicated = sum(
+        c - 1 for pair, c in projection.items() if pair in expected and c > 1
+    )
+    announced = any(
+        kind in DEGRADATION_MARKERS for (_t, kind, _who) in jm.recovery_events
+    )
+    if missing:
+        outcome = "violation:data-loss"
+    elif extra:
+        outcome = "violation:alien-output"
+    elif duplicated and not announced:
+        outcome = "violation:silent-duplication"
+    elif duplicated:
+        outcome = "announced-degradation"
+    else:
+        outcome = "transparent"
+    return CaseResult(
+        point,
+        outcome,
+        missing=missing,
+        duplicated=duplicated,
+        extra=extra,
+        duration=env.now,
+        announced=announced,
+    )
+
+
+def explore_topology(
+    topo: Topology,
+    boundaries: int = 2,
+    compound: bool = True,
+    limit: float = 60.0,
+    on_case: Optional[Callable[[CaseResult], None]] = None,
+) -> TransparencyReport:
+    """Baseline + the full failure-point matrix for one topology."""
+    baseline = run_baseline(topo, limit=limit)
+    expected = _expected(topo)
+    report = TransparencyReport(
+        topology=topo.name,
+        operators=topo.operators,
+        tasks=len(baseline.tasks),
+        expected=len(expected),
+        baseline_duration=baseline.duration,
+    )
+    for point in enumerate_failure_points(
+        baseline, boundaries=boundaries, compound=compound
+    ):
+        result = run_case(topo, point, expected, limit=limit)
+        report.cases.append(result)
+        if on_case is not None:
+            on_case(result)
+    return report
+
+
+def run_transparency_suite(
+    topologies: Optional[Sequence[Topology]] = None,
+    boundaries: int = 2,
+    compound: bool = True,
+    limit: float = 60.0,
+    on_case: Optional[Callable[[CaseResult], None]] = None,
+) -> List[TransparencyReport]:
+    """The whole suite: every topology's exhaustive matrix."""
+    return [
+        explore_topology(
+            topo,
+            boundaries=boundaries,
+            compound=compound,
+            limit=limit,
+            on_case=on_case,
+        )
+        for topo in (topologies if topologies is not None else default_topologies())
+    ]
+
+
+def suite_payload(reports: Iterable[TransparencyReport]) -> dict:
+    """JSON document for ``BENCH_transparency.json``: per-topology tallies
+    plus every violating case spelled out (kill schedule included, so the
+    case replays from the payload alone)."""
+    reports = list(reports)
+    payload = {
+        "suite": "transparency",
+        "topologies": [
+            {
+                "name": r.topology,
+                "operators": r.operators,
+                "tasks": r.tasks,
+                "expected_records": r.expected,
+                "baseline_duration_s": round(r.baseline_duration, 6),
+                "cases": len(r.cases),
+                "transparent": r.transparent,
+                "announced_degradation": r.announced,
+                "skipped": r.skipped,
+                "violations": len(r.violations),
+            }
+            for r in reports
+        ],
+        "cases_total": sum(len(r.cases) for r in reports),
+        "transparent": sum(r.transparent for r in reports),
+        "announced_degradation": sum(r.announced for r in reports),
+        "skipped": sum(r.skipped for r in reports),
+        "violations": sum(len(r.violations) for r in reports),
+        "violating_cases": [
+            {
+                "topology": r.topology,
+                "case": c.point.label,
+                "kills": [list(k) for k in c.point.kills],
+                "outcome": c.outcome,
+                "missing": c.missing,
+                "duplicated": c.duplicated,
+                "extra": c.extra,
+                "detail": c.detail,
+            }
+            for r in reports
+            for c in r.violations
+        ],
+    }
+    return payload

@@ -6,16 +6,26 @@ recovery to read the damage) must end exactly-once or with an announced
 ``degraded:global_rollback`` — never silent loss, duplication, or a hang
 (``run_until_done`` raises on the deadline, which Hypothesis reports with
 the offending seed).  The control arm (``validate=False``) proves the layer
-is load-bearing: the same plan then produces a silent violation."""
+is load-bearing: the same plan then produces a silent violation.
 
-from hypothesis import example, given, settings
+The per-run Hypothesis example budget is widened on the nightly soak job via
+``REPRO_SOAK_EXAMPLES`` (PR CI keeps the fast default) so newly-sampled
+seeds keep stress-testing the recovery path without slowing PR CI.
+"""
+
+import os
+
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.chaos.plan import CORRUPTION_KINDS, random_plan
-from repro.errors import JobError
 from repro.integrity.soak import run_integrity_experiment
+from repro.runtime.task import TaskStatus
 
 LIMIT = 120.0
+
+#: Hypothesis example budget: 8 on PR CI, widened on the nightly soak job.
+SOAK_EXAMPLES = int(os.environ.get("REPRO_SOAK_EXAMPLES", "8"))
 
 #: A seed whose plan corrupts a stored source checkpoint that recovery then
 #: restores: with validation off the run silently loses records (the control
@@ -32,23 +42,8 @@ def describe(result):
     )
 
 
-# Known-bad seeds found by overnight soaks, pinned as expected failures so
-# (a) every run re-checks them instead of waiting for Hypothesis to
-# rediscover them, and (b) the run that fixes them fails loudly here and
-# must remove the pin.  Both are tracked as the ROADMAP §0 open item
-# "integrity soak flakes".
-@example(seed=1655).xfail(
-    reason="known-bad seed (ROADMAP §0): corrupted restore slips through "
-    "silently — verdict=violation, missing=41",
-    raises=AssertionError,
-)
-@example(seed=64853).xfail(
-    reason="known-bad seed (ROADMAP §0): recovery livelock, job misses the "
-    "120s simulated-time deadline",
-    raises=JobError,
-)
 @given(seed=st.integers(min_value=0, max_value=10**6))
-@settings(max_examples=8, deadline=None)
+@settings(max_examples=SOAK_EXAMPLES, deadline=None)
 def test_corruption_is_detected_or_announced_never_silent(seed):
     result = run_integrity_experiment(seed, limit=LIMIT)
     assert result.ok, describe(result)
@@ -56,6 +51,79 @@ def test_corruption_is_detected_or_announced_never_silent(seed):
     if result.verdict != "exactly-once":
         # Degradation is only acceptable when announced.
         assert result.chaos.degradations, describe(result)
+
+
+# Formerly-bad seeds found by overnight soaks (the closed ROADMAP §0 item),
+# kept as permanent named regression tests — one per failure mode — so the
+# exact workload timings that exposed each bug are re-checked on every run
+# instead of waiting for Hypothesis to resample them.
+
+
+def test_seed_1655_regression_silent_loss_mode():
+    """Loss mode: a single ``task_kill src[0]`` under this seed's timing
+    used to silently drop a 41-record tail.
+
+    Root cause: the checkpoint images each writer's ``seq`` *before* the
+    epoch-closing barrier goes out; when the barrier opened a fresh buffer,
+    regenerated buffers came out numbered one low and — after the replayed
+    cuts were deduplicated — the first buffer of fresh records collided with
+    ``suppress_until_seq`` and was suppressed.  The fix re-anchors the
+    writer's numbering on the output-queue log at replay preparation.
+    """
+    result = run_integrity_experiment(1655, limit=LIMIT)
+    assert result.verdict == "exactly-once", describe(result)
+    assert result.chaos.missing == 0, describe(result)
+    assert result.chaos.duplicated == 0, describe(result)
+    jm = result.chaos.jm
+    for vertex in jm.vertices.values():
+        task = vertex.task
+        assert task is not None and task.status is TaskStatus.FINISHED
+        # Source resume offset: the recovered source drained its entire
+        # partition — nothing was skipped on restore.
+        operator = task.operator
+        if vertex.is_source and hasattr(operator, "offset"):
+            assert operator.offset == 1200, (vertex.name, operator.offset)
+        # Sink dedup window: no writer may end with fresh output numbered
+        # inside its sender-side dedup window — that is exactly the
+        # collision that silently dropped the tail.
+        for channel in task.all_output_channels:
+            assert channel.seq > channel.suppress_until_seq, (
+                vertex.name,
+                channel.index,
+                channel.seq,
+                channel.suppress_until_seq,
+            )
+
+
+def test_seed_64853_regression_recovery_hang_mode():
+    """Hang mode: recovery never converged and the run died on the 120 s
+    ``run_until_done`` deadline.
+
+    Root cause: a recovery attempt that failed *after* the network
+    reconfiguration handshake abandoned its half-built replacement without
+    closing its gate; a link pump blocked forever on the orphaned credit
+    queue, so no later incarnation (not even the global restart's) ever
+    received another buffer on that link.  The fix dismantles abandoned
+    incarnations so their gates cancel every blocked waiter.
+    """
+    result = run_integrity_experiment(64853, limit=LIMIT)
+    assert result.ok, describe(result)
+    assert result.chaos.duration < LIMIT, describe(result)
+    assert result.chaos.missing == 0, describe(result)
+    kinds = [k for (_t, k, _w) in result.chaos.recovery_events]
+    # The wedge is real in this plan (a truncated determinant replica fails
+    # the fetch step after the rebuild) and must be announced + torn down.
+    assert "recovery-incarnation-abandoned" in kinds, kinds
+    assert result.chaos.degradations, describe(result)
+    # Convergence: every vertex's live incarnation drained to completion —
+    # nobody is left waiting on a wedged link pump.
+    jm = result.chaos.jm
+    for vertex in jm.vertices.values():
+        task = vertex.task
+        assert task is not None and task.status is TaskStatus.FINISHED, (
+            vertex.name,
+            None if task is None else task.status,
+        )
 
 
 def test_validation_disabled_is_demonstrably_silent():

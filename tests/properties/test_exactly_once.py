@@ -5,7 +5,7 @@ exactly-once — even with nondeterministic operators.
 
 from collections import Counter
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.config import FaultToleranceMode
@@ -39,6 +39,22 @@ def scenarios(draw):
 
 
 @given(scenarios())
+# Pinned regression: killing a fan-in peer just after it forwards a barrier
+# its siblings have already aligned on downstream used to deadlock the job —
+# the sinks' alignment held the live channels' credits, the blocked
+# backpressure wedged the common upstream mid-send, and the wedged upstream
+# could then never serve the replacement's replay request.  Fixed by
+# cancelling the (already aborted) alignment when the replacement reconnects
+# (StreamTask.on_upstream_reconnected).
+@example(
+    dict(
+        n_records=981,
+        kill_at=0.3515625,
+        victim="mid[0]",
+        checkpoint_interval=0.35,
+        seed=0,
+    )
+)
 @settings(max_examples=12, deadline=None)
 def test_clonos_exactly_once_everywhere(params):
     env = Environment()

@@ -1,0 +1,171 @@
+"""Recovery-liveness watchdog: stalls are announced, health is untouched.
+
+Two properties:
+
+1.  **A frozen recovery never dies silently.**  The ``recovery_freeze``
+    fault (kill + permanent input partition) makes replay progress
+    impossible; the watchdog must announce ``degraded:recovery_stalled``,
+    escalate through the ladder, and terminate the run with a structured
+    :class:`~repro.errors.RecoveryStallError` carrying the stuck phase and
+    per-task replay positions — never the bare 120-simulated-second
+    deadline death that seed 64853 used to produce.
+
+2.  **Passivity.**  The watchdog piggybacks on checkpoint-coordinator
+    ticks and adds zero simulation events, so enabling it must leave a
+    healthy (and even a failure-and-recover) run byte-identical — checked
+    here run-vs-run and, stronger, by the golden determinism digests whose
+    recorded runs include a kill.
+"""
+
+import pytest
+
+from repro.chaos.plan import FaultPlan
+from repro.chaos.soak import fast_chaos_config, run_chaos_experiment
+from repro.config import JobConfig, WatchdogConfig
+from repro.errors import JobError, RecoveryStallError
+from repro.recovery.watchdog import RecoveryWatchdog
+
+LIMIT = 120.0
+
+
+def freeze_plan(at=0.4, target="stage1[0]"):
+    return FaultPlan(seed=0).add(at, "recovery_freeze", target=target)
+
+
+class TestStallDetection:
+    def test_frozen_recovery_raises_structured_stall(self):
+        with pytest.raises(RecoveryStallError) as excinfo:
+            run_chaos_experiment(
+                freeze_plan(),
+                config=fast_chaos_config(seed=0, checkpoint_interval=0.25),
+                limit=LIMIT,
+            )
+        err = excinfo.value
+        assert err.phase, "stall error must name the stuck phase"
+        assert err.last_progress_at is not None
+        assert err.last_progress_at < LIMIT
+        assert err.replay_positions, "per-task replay positions must ride along"
+        for name, pos in err.replay_positions.items():
+            assert "status" in pos and "records_processed" in pos, name
+
+    def test_stall_is_announced_not_silent(self):
+        env_state = {}
+
+        def capture(jm):
+            env_state["jm"] = jm
+            return freeze_plan()
+
+        with pytest.raises(RecoveryStallError):
+            run_chaos_experiment(
+                capture,
+                config=fast_chaos_config(seed=0, checkpoint_interval=0.25),
+                limit=LIMIT,
+            )
+        jm = env_state["jm"]
+        kinds = [kind for (_t, kind, _w) in jm.recovery_events]
+        assert "degraded:recovery_stalled" in kinds
+        assert any(kind.startswith("recovery-stalled:") for kind in kinds)
+        assert jm.watchdog.stalls_detected >= 1
+        assert jm.watchdog.escalations >= 1
+        # The terminal verdict is a watchdog decision, not a deadline death:
+        # the job "crashed" via the structured stall error.
+        assert any(
+            isinstance(exc, RecoveryStallError) for (_n, exc) in jm.crashed
+        )
+
+    def test_stall_verdict_surfaces_in_metrics(self):
+        from repro.metrics.collectors import stall_summary
+
+        state = {}
+
+        def capture(jm):
+            state["jm"] = jm
+            return freeze_plan()
+
+        with pytest.raises(RecoveryStallError):
+            run_chaos_experiment(
+                capture,
+                config=fast_chaos_config(seed=0, checkpoint_interval=0.25),
+                limit=LIMIT,
+            )
+        summary = stall_summary(state["jm"])
+        assert summary["verdict"] == "stalled"
+        assert summary["stalls_detected"] >= 1
+        assert summary["stalls_announced"] >= 1
+
+    def test_deadline_expiry_is_structured_with_watchdog_disabled(self):
+        """Even with the watchdog off, a hung run's deadline death must be a
+        structured diagnostic (satellite: run_until_done), not a bare
+        JobError string."""
+        config = fast_chaos_config(seed=0, checkpoint_interval=0.25)
+        config.watchdog = WatchdogConfig(enabled=False)
+        with pytest.raises(RecoveryStallError) as excinfo:
+            run_chaos_experiment(freeze_plan(), config=config, limit=20.0)
+        err = excinfo.value
+        assert "did not finish within" in str(err)
+        assert err.replay_positions
+
+
+class TestPassivity:
+    def _run(self, enabled):
+        config = fast_chaos_config(seed=3, checkpoint_interval=0.25)
+        config.watchdog = WatchdogConfig(enabled=enabled)
+        plan = FaultPlan(seed=3).add(0.4, "task_kill", target="stage1[0]")
+        return run_chaos_experiment(plan, config=config, limit=LIMIT)
+
+    def test_kill_and_recover_run_identical_with_watchdog_on_and_off(self):
+        on = self._run(enabled=True)
+        off = self._run(enabled=False)
+        assert on.verdict == off.verdict == "exactly-once"
+        assert on.duration == off.duration
+        assert on.delivered == off.delivered
+        assert on.recovery_events == off.recovery_events
+
+    def test_golden_digests_unchanged(self):
+        """The golden record run includes a kill at t=0.4; any event the
+        watchdog inserted would shift its schedule hash."""
+        from repro.bench import check_goldens
+
+        assert check_goldens() == []
+
+
+class TestConfigAndTimeout:
+    def test_auto_stall_timeout_tracks_config(self):
+        from repro.external.kafka import DurableLog
+        from repro.runtime.jobmanager import JobManager
+        from repro.sim.core import Environment
+        from repro.workloads.synthetic import synthetic_chain
+
+        config = fast_chaos_config(seed=0, checkpoint_interval=0.25)
+        env = Environment()
+        log = DurableLog()
+        graph = synthetic_chain(log, depth=2, parallelism=1,
+                                total_per_partition=10)
+        jm = JobManager(env, graph, config)
+        watchdog = jm.watchdog
+        # recovery_step_deadline=5.0 dominates: 2 * 5.0 + 1.0.
+        assert watchdog.stall_timeout == pytest.approx(11.0)
+        # An explicit setting wins over the derivation.
+        config.watchdog.stall_timeout = 42.0
+        assert watchdog.stall_timeout == 42.0
+
+    def test_watchdog_config_validation(self):
+        with pytest.raises(JobError):
+            JobConfig(watchdog=WatchdogConfig(stall_timeout=-1.0)).validate()
+        with pytest.raises(JobError):
+            JobConfig(watchdog=WatchdogConfig(escalation_limit=-1)).validate()
+        JobConfig(watchdog=WatchdogConfig(stall_timeout=None)).validate()
+
+    def test_disarmed_watchdog_reports_no_progress_timestamp(self):
+        from repro.external.kafka import DurableLog
+        from repro.runtime.jobmanager import JobManager
+        from repro.sim.core import Environment
+        from repro.workloads.synthetic import synthetic_chain
+
+        env = Environment()
+        log = DurableLog()
+        graph = synthetic_chain(log, depth=2, parallelism=1,
+                                total_per_partition=10)
+        jm = JobManager(env, graph, fast_chaos_config(seed=0))
+        assert isinstance(jm.watchdog, RecoveryWatchdog)
+        assert jm.watchdog.last_progress_at is None
