@@ -111,6 +111,29 @@ def _integrity_status() -> str:
         return f"unavailable ({type(exc).__name__})"
 
 
+@lru_cache(maxsize=1)
+def _scenario_status() -> str:
+    """Scenario-pack verdict (computed once per session; recorded in every
+    benchmark's extra_info).  A reduced slice of the production incident
+    pack — one strict and one announced-degradation scenario — so a recovery
+    regression that would fail the CI scenario matrix is visible next to the
+    numbers.  A red scenario reproduces locally with
+    ``python -m repro scenarios --only <name>``."""
+    try:
+        from repro.metrics.collectors import scenario_summary
+        from repro.scenarios import run_pack, SCENARIOS
+
+        results = run_pack(
+            SCENARIOS, only=["backpressure_storm", "poison_pill"]
+        )
+        summary = scenario_summary(results)
+        if summary["failed"]:
+            return f"failed: {', '.join(summary['failed'])}"
+        return f"clean ({summary['passed']}/{summary['scenarios']} scenarios)"
+    except Exception as exc:  # pragma: no cover - keep benchmarks running
+        return f"unavailable ({type(exc).__name__})"
+
+
 @pytest.fixture(autouse=True)
 def surface_reproduced_tables(capsys, request):
     """Benchmarks print the reproduced paper tables; pytest would normally
@@ -141,6 +164,7 @@ def run_once(benchmark, fn, *args, **kwargs):
     benchmark.extra_info["ndlint"] = _lint_status()
     benchmark.extra_info["chaos"] = _chaos_status()
     benchmark.extra_info["integrity"] = _integrity_status()
+    benchmark.extra_info["scenarios"] = _scenario_status()
     benchmark.extra_info["schedule_hash"] = combined_digest(tracers)
     benchmark.extra_info["schedule_events"] = sum(t.steps for t in tracers)
     return result

@@ -1,25 +1,38 @@
 """repro.chaos: declarative fault injection for the simulated dataflow.
 
 A :class:`~repro.chaos.plan.FaultPlan` declares *what goes wrong when*
-(task/node crashes, standby loss, link partitions/delay/buffer loss,
-control-RPC loss/duplication, DFS outages, external-service fault windows);
+(task/node/zone crashes, standby loss, link partitions/delay/buffer loss,
+control-RPC loss/duplication, compute slowdown, poison pills, DFS and
+output-broker outages/brownouts, external-service fault windows);
 the :class:`~repro.chaos.engine.ChaosEngine` schedules it against a running
 job, deterministically from the plan's seed.  :mod:`repro.chaos.soak`
 runs randomised plans against the synthetic nondeterministic pipeline and
 verdicts each run: output exactly-once, explicitly degraded, or violation.
+:mod:`repro.chaos.poison` quarantines records that deterministically crash
+their operator on every incarnation.  The named production incidents built
+from these primitives live in :mod:`repro.scenarios`.
 """
 
 from repro.chaos.engine import ChaosEngine, ControlPlaneChaos
-from repro.chaos.plan import FAULT_KINDS, FaultPlan, FaultSpec, random_plan
+from repro.chaos.plan import (
+    FAULT_KINDS,
+    TARGETLESS_KINDS,
+    FaultPlan,
+    FaultSpec,
+    random_plan,
+)
+from repro.chaos.poison import PoisonRegistry
 from repro.chaos.soak import ChaosRunResult, chaos_soak, run_chaos_experiment
 
 __all__ = [
     "FAULT_KINDS",
+    "TARGETLESS_KINDS",
     "FaultPlan",
     "FaultSpec",
     "random_plan",
     "ChaosEngine",
     "ControlPlaneChaos",
+    "PoisonRegistry",
     "ChaosRunResult",
     "run_chaos_experiment",
     "chaos_soak",

@@ -193,12 +193,19 @@ class ChaosEngine:
         self._note(spec, name)
         self.jm.kill_task(name, force=True)
 
+    def _resolve_node(self, target: str) -> Optional[int]:
+        """Node-targeting kinds accept a node id *or* a task name/glob (the
+        node currently hosting it), per the :class:`FaultSpec` docstring.  A
+        digit target outside the cluster resolves to None (skip) instead of
+        blowing up placement bookkeeping."""
+        if target.isdigit():
+            node_id = int(target)
+            return node_id if self.jm.cluster.has_node(node_id) else None
+        name = self._pick_task(target)
+        return self.jm.cluster.node_of(name) if name is not None else None
+
     def _apply_node_crash(self, spec: FaultSpec) -> None:
-        if spec.target.isdigit():
-            node_id = int(spec.target)
-        else:
-            name = self._pick_task(spec.target)
-            node_id = self.jm.cluster.node_of(name) if name is not None else None
+        node_id = self._resolve_node(spec.target)
         if node_id is None:
             self._skip(spec, "no such node")
             return
@@ -320,6 +327,121 @@ class ChaosEngine:
             rng=rng,
         )
         self._note(spec, external.name)
+
+    # -- production-incident primitives ------------------------------------------
+
+    def _apply_compute_slowdown(self, spec: FaultSpec) -> None:
+        """Straggler node: every record processed on the node costs
+        ``factor`` times more CPU for ``duration`` seconds (0 = until the
+        run ends).  Replacement incarnations landing on the node inherit
+        the slowdown via ``JobManager._build_task``."""
+        node_id = self._resolve_node(spec.target)
+        if node_id is None:
+            self._skip(spec, "no such node")
+            return
+        jm = self.jm
+        jm.node_slowdowns[node_id] = spec.factor
+        self._set_node_slowdown(node_id, spec.factor)
+        self._note(spec, f"node:{node_id} x{spec.factor:g}")
+        if spec.duration:
+
+            def restore(node_id=node_id) -> None:
+                jm.node_slowdowns.pop(node_id, None)
+                self._set_node_slowdown(node_id, 1.0)
+
+            self.env.schedule_callback(spec.duration, restore)
+
+    def _set_node_slowdown(self, node_id: int, factor: float) -> None:
+        for occupant in sorted(self.jm.cluster.occupants_of_node(node_id)):
+            if occupant.startswith("standby:"):
+                continue
+            vertex = self.jm.vertices.get(occupant)
+            if vertex is not None and vertex.task is not None:
+                vertex.task.compute_slowdown = factor
+
+    def _apply_poison_pill(self, spec: FaultSpec) -> None:
+        """Arm the next ``count`` distinct records at the victim as
+        permanent pills (see :mod:`repro.chaos.poison`).  Sources poll
+        rather than process records, so only non-source tasks qualify."""
+        if spec.target in self.jm.vertices:
+            name = spec.target
+        else:
+            names = sorted(
+                n
+                for n, v in self.jm.vertices.items()
+                if not v.is_source and fnmatch(n, spec.target)
+            )
+            name = self.rng.choice(names) if names else None
+        if name is None:
+            self._skip(spec, "no matching task")
+            return
+        if self.jm.vertices[name].is_source:
+            self._skip(spec, "cannot poison a source task")
+            return
+        self.jm.poison.arm(name, spec.count)
+        vertex = self.jm.vertices[name]
+        if vertex.task is not None:
+            vertex.task._poison_active = True
+        self._note(spec, f"{name} x{spec.count}")
+
+    def _apply_zone_outage(self, spec: FaultSpec) -> None:
+        """Fail every live node in one availability zone at once; with a
+        ``duration``, the zone's nodes come back (empty) afterwards."""
+        cluster = self.jm.cluster
+        if spec.target == "*":
+            zones = cluster.live_zones()
+            if not zones:
+                self._skip(spec, "no live zones")
+                return
+            zone = self.rng.choice(zones)
+        else:
+            zone = int(spec.target)
+        victims = [n for n in cluster.nodes_in_zone(zone) if n.alive]
+        if not victims:
+            self._skip(spec, f"zone {zone} has no live nodes")
+            return
+        self._note(spec, f"zone:{zone}")
+        for node in sorted(victims, key=lambda n: n.node_id):
+            self.jm.kill_node(node.node_id, force=True, fail_node=True)
+        if spec.duration:
+            self.env.schedule_callback(
+                spec.duration, lambda z=zone: cluster.revive_zone(z)
+            )
+
+    def _broker_logs(self) -> List:
+        """Every distinct durable log (message broker) the job's sources and
+        sinks talk to, in deterministic order."""
+        from repro.external.kafka import DurableLog
+
+        logs: List = []
+        for name in sorted(self.jm.vertices):
+            task = self.jm.vertices[name].task
+            operator = task.operator if task is not None else None
+            log = getattr(operator, "log", None)
+            if isinstance(log, DurableLog) and not any(log is l for l in logs):
+                logs.append(log)
+        return logs
+
+    def _apply_broker_outage(self, spec: FaultSpec) -> None:
+        logs = self._broker_logs()
+        if not logs:
+            self._skip(spec, "no broker in the job")
+            return
+        until = self.env.now + spec.duration
+        for log in logs:
+            log.set_outage(until)
+        self._note(spec, f"{spec.duration:g}s")
+
+    def _apply_broker_brownout(self, spec: FaultSpec) -> None:
+        logs = self._broker_logs()
+        if not logs:
+            self._skip(spec, "no broker in the job")
+            return
+        until = self.env.now + spec.duration
+        seed = derive_seed(self.plan.seed, f"broker@{spec.at:g}")
+        for log in logs:
+            log.set_brownout(until, spec.rate, seed=seed)
+        self._note(spec, f"{spec.duration:g}s p={spec.rate:g}")
 
     # -- artifact corruption -----------------------------------------------------
 

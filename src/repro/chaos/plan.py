@@ -35,8 +35,16 @@ FAULT_KINDS = frozenset(
         # -- artifact corruption (silent until a validating read) ------------
         "blob_corruption",          # silently corrupt a stored checkpoint
         "torn_write",               # mark a checkpoint blob torn (partial write)
-        "buffer_bitflip",           # flip an element in a logged in-flight buffer
+        "buffer_bitflip",          # flip an element in a logged in-flight buffer
         "determinant_truncation",   # truncate a held determinant-log replica
+        # -- production-incident primitives (scenario pack; not in the -------
+        # -- random default palette) -----------------------------------------
+        "compute_slowdown",  # straggler: scale a node's CPU cost by `factor`
+        "poison_pill",       # next `count` records at a task become permanent
+                             # pills: crash the operator until quarantined
+        "zone_outage",       # crash every node in one availability zone
+        "broker_outage",     # message broker down for `duration`
+        "broker_brownout",   # broker flaky (`rate` failures) for `duration`
     }
 )
 
@@ -53,8 +61,15 @@ CORRUPTION_KINDS = frozenset(
 #: names like ``"src[0]->stage1[1]"``).
 LINK_KINDS = frozenset({"link_partition", "link_delay", "link_loss"})
 
+#: Kinds whose ``target`` is meaningless and therefore *must* stay ``"*"``.
+#: (``rpc_chaos`` is global too but its target restricts the affected
+#: parties, so it is deliberately not in this set.)
+TARGETLESS_KINDS = frozenset(
+    {"dfs_outage", "dfs_brownout", "external_faults", "broker_outage", "broker_brownout"}
+)
+
 #: Kinds that need no target at all.
-GLOBAL_KINDS = frozenset({"rpc_chaos", "dfs_outage", "dfs_brownout", "external_faults"})
+GLOBAL_KINDS = TARGETLESS_KINDS | frozenset({"rpc_chaos"})
 
 
 @dataclass(frozen=True)
@@ -76,6 +91,20 @@ class FaultSpec:
     * ``dfs_outage`` / ``dfs_brownout`` — ``duration`` (+ ``factor``).
     * ``external_faults`` — ``rate`` = error probability, ``factor`` =
       latency multiplier, for ``duration``.
+    * ``compute_slowdown`` — ``target`` is a node id (``"3"``) or a task
+      name (slow the node hosting it) or ``"*"``; every record processed
+      on that node costs ``factor`` times more CPU for ``duration``
+      seconds (0 = until the run ends).
+    * ``poison_pill`` — ``target`` is a task name or ``"*"``; the next
+      ``count`` distinct records that task processes become permanent
+      pills that crash the operator on every incarnation until the
+      registry quarantines them (announced degradation).
+    * ``zone_outage`` — ``target`` is a zone id (``"1"``) or ``"*"``
+      (engine picks a zone with live nodes, seeded); every node in the
+      zone fails; ``duration`` > 0 revives the zone afterwards.
+    * ``broker_outage`` / ``broker_brownout`` — message-broker (durable
+      log) unavailability / flakiness (``rate`` = failure probability)
+      for ``duration`` seconds.
     """
 
     at: float
@@ -89,6 +118,12 @@ class FaultSpec:
     fail_node: bool = False
 
     def validate(self) -> None:
+        # Range checks are uniform across kinds: every ``factor`` in the
+        # palette is a slowdown/cost *multiplier* and every ``count`` a
+        # number of occurrences, so a sub-1 factor (which would silently
+        # speed the service up) or a non-positive count is malformed no
+        # matter which kind carries it.  Scenario files rely on this to
+        # fail loudly at load time.
         if self.kind not in FAULT_KINDS:
             raise ChaosError(f"unknown fault kind {self.kind!r}")
         if self.at < 0:
@@ -97,10 +132,21 @@ class FaultSpec:
             raise ChaosError(f"{self.kind}: duration must be >= 0")
         if not 0.0 <= self.rate <= 1.0 or not 0.0 <= self.dup_rate <= 1.0:
             raise ChaosError(f"{self.kind}: rates must be in [0, 1]")
-        if self.kind == "link_loss" and self.count < 1:
-            raise ChaosError("link_loss: count must be >= 1")
-        if self.kind in ("link_delay", "dfs_brownout") and self.factor < 1.0:
+        if self.count < 1:
+            raise ChaosError(f"{self.kind}: count must be >= 1")
+        if self.factor < 1.0:
             raise ChaosError(f"{self.kind}: factor must be >= 1")
+        if not isinstance(self.target, str) or not self.target:
+            raise ChaosError(f"{self.kind}: target must be a non-empty string")
+        if self.kind in TARGETLESS_KINDS and self.target != "*":
+            raise ChaosError(
+                f"{self.kind}: takes no target (got {self.target!r}); "
+                "use the default '*'"
+            )
+        if self.kind == "zone_outage" and self.target != "*" and not self.target.isdigit():
+            raise ChaosError(
+                f"zone_outage: target must be a zone id or '*' (got {self.target!r})"
+            )
 
 
 @dataclass
@@ -157,6 +203,7 @@ def random_plan(
         palette.append("rpc_chaos")
     if not task_names:
         palette = [k for k in palette if k not in ("task_kill", "standby_loss", "node_crash")]
+        palette = [k for k in palette if k not in ("poison_pill", "compute_slowdown")]
         palette = [k for k in palette if k not in CORRUPTION_KINDS]
     if not link_names:
         palette = [k for k in palette if k not in LINK_KINDS]
@@ -221,5 +268,19 @@ def random_plan(
             # Killing the victim makes recovery fetch its determinants from
             # the (truncated) downstream replicas.
             plan.add(round(at + 0.5 * window, 4), "task_kill", target=victim)
+        elif kind == "compute_slowdown":
+            plan.add(
+                at, kind, target=rng.choice(list(task_names)),
+                duration=window, factor=2.0 + 8.0 * rng.random(),
+            )
+        elif kind == "poison_pill":
+            plan.add(at, kind, target=rng.choice(list(task_names)),
+                     count=rng.randint(1, 2))
+        elif kind == "zone_outage":
+            plan.add(at, kind, duration=window)
+        elif kind == "broker_outage":
+            plan.add(at, kind, duration=window)
+        elif kind == "broker_brownout":
+            plan.add(at, kind, duration=window, rate=0.2 + 0.5 * rng.random())
     plan.specs.sort(key=lambda s: s.at)
     return plan

@@ -1,0 +1,125 @@
+"""Poison-pill record bookkeeping (chaos ``poison_pill``).
+
+A poison pill is a *record* fault, not a component fault: some input record
+deterministically crashes the operator that processes it, on every
+incarnation, until an operator-level policy gives up and skips it.  The
+registry lives on the :class:`~repro.runtime.jobmanager.JobManager` (one
+per job, shared by every task incarnation) so pill identity and crash
+counts survive task restarts — that is what makes the crash loop converge.
+
+Replay-consistency contract: the task's record path consults the registry
+*before* the operator sees a record, and a "crash" verdict raises before
+any state mutation or output.  An incarnation therefore either dies **at**
+the pill (leaving no artifact that includes it) or — once the pill is
+quarantined — skips it without side effects.  Every incarnation that gets
+past the pill observes the identical skip, so checkpoints, determinant
+logs, and sink output stay consistent across recoveries.
+
+Records are identified by their origin pair ``(value[0], value[1])`` —
+the ``(partition, offset)`` stamp every synthetic-workload record carries
+end-to-end — falling back to the raw value for non-tuple payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+
+def record_ident(value) -> Tuple:
+    """Stable identity of a record payload: its origin ``(partition, offset)``."""
+    if isinstance(value, tuple) and len(value) >= 2:
+        return (value[0], value[1])
+    return (value,)
+
+
+class PoisonRegistry:
+    """Tracks armed, active, and quarantined poison pills for one job.
+
+    ``arm(task_name, count)`` marks the next ``count`` distinct records the
+    task processes as permanent pills.  ``on_record`` is the per-record
+    verdict used by the task's data path:
+
+    * ``"pass"`` — not a pill, process normally (the overwhelmingly common
+      case; callers guard the call itself behind ``task._poison_active``).
+    * ``"crash"`` — a live pill: raise before the operator runs.
+    * ``"quarantine"`` — this encounter crossed ``quarantine_after``
+      crashes: skip the record *and announce* the degradation (the caller
+      reports it once, via ``JobManager.note_poison_quarantine``).
+    * ``"skip"`` — an already-quarantined pill: silently skip.
+    """
+
+    def __init__(self, quarantine_after: int = 2):
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        self.quarantine_after = quarantine_after
+        #: task name -> number of not-yet-designated pills.
+        self._pending: Dict[str, int] = {}
+        #: task name -> {pill ident -> crash count so far}.
+        self._pills: Dict[str, Dict[Tuple, int]] = {}
+        #: task name -> idents that have been quarantined (skip forever).
+        self._quarantined: Dict[str, Set[Tuple]] = {}
+        #: Announced quarantine transitions, in order: (task, ident).
+        self.quarantine_log: List[Tuple[str, Tuple]] = []
+
+    # -- arming ------------------------------------------------------------------------
+
+    def arm(self, task_name: str, count: int = 1) -> None:
+        self._pending[task_name] = self._pending.get(task_name, 0) + max(1, count)
+
+    def is_armed(self, task_name: str) -> bool:
+        """Whether the task must consult the registry per record at all."""
+        return (
+            self._pending.get(task_name, 0) > 0
+            or bool(self._pills.get(task_name))
+            or bool(self._quarantined.get(task_name))
+        )
+
+    # -- per-record verdict ------------------------------------------------------------
+
+    def on_record(self, task_name: str, value) -> str:
+        ident = record_ident(value)
+        quarantined = self._quarantined.get(task_name)
+        if quarantined is not None and ident in quarantined:
+            return "skip"
+        pills = self._pills.get(task_name)
+        if pills is not None and ident in pills:
+            crashes = pills[ident]
+            if crashes >= self.quarantine_after:
+                del pills[ident]
+                self._quarantined.setdefault(task_name, set()).add(ident)
+                self.quarantine_log.append((task_name, ident))
+                return "quarantine"
+            pills[ident] = crashes + 1
+            return "crash"
+        pending = self._pending.get(task_name, 0)
+        if pending > 0:
+            # Designate this record a pill.  Record identity makes this
+            # idempotent across replays: the same (partition, offset) pair
+            # re-encountered by a recovering incarnation hits the pill
+            # branch above, not a second designation.
+            self._pending[task_name] = pending - 1
+            self._pills.setdefault(task_name, {})[ident] = 1
+            return "crash"
+        return "pass"
+
+    def origin_of(self, value) -> Tuple:
+        return record_ident(value)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "armed_pending": dict(sorted(self._pending.items())),
+            "live_pills": {
+                task: sorted(pills) for task, pills in sorted(self._pills.items()) if pills
+            },
+            "quarantined": {
+                task: sorted(idents)
+                for task, idents in sorted(self._quarantined.items())
+                if idents
+            },
+            "quarantine_events": list(self.quarantine_log),
+        }
+
+    def quarantined_count(self) -> int:
+        return sum(len(s) for s in self._quarantined.values())

@@ -36,6 +36,7 @@ from repro.workloads.synthetic import synthetic_chain
 DEGRADATION_MARKERS = (
     "degraded:global_rollback",
     "degraded:recovery_stalled",
+    "degraded:poison_quarantined",
     "orphan-fallback",
     "global-restart-begin",
     "replay-diverged",

@@ -14,6 +14,7 @@
     python -m repro chaos [--seeds 0:20 | --seed 9] [--max-faults 4]
     python -m repro audit [--inject K] [--soak | --seeds 0:8]
     python -m repro transparency [--topologies pair-p1,...] [--json PATH]
+    python -m repro scenarios [--list | --only NAMES] [--json PATH]
 
 Every experiment subcommand prints the reproduced table/series of the
 corresponding figure; see EXPERIMENTS.md for the mapping to the paper.
@@ -30,7 +31,10 @@ against the validated recovery ladder (see README, "Artifact integrity").
 ``transparency`` enumerates every failure point on small topologies and
 asserts the recovered output is observationally equivalent to the
 failure-free baseline — any silent divergence exits 1 (see README,
-"Failure transparency as a checkable property").
+"Failure transparency as a checkable property").  ``scenarios`` runs the
+production incident pack: named, declarative fault schedules with
+per-scenario machine-checked verdicts — any failed verdict exits 1 (see
+README, "The production incident scenario pack").
 ``trace`` records a fig6-style failure run on the causal event bus, exports
 JSONL + Chrome-trace/Perfetto JSON, and prints each recovery incident's
 per-phase breakdown plus the sim profiler's wall-clock hot spots (see
@@ -618,6 +622,78 @@ def _cmd_chaos(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_scenarios(args) -> int:
+    import json
+
+    from repro.errors import ScenarioError
+    from repro.metrics.collectors import scenario_summary
+    from repro.scenarios import SCENARIOS, run_pack
+
+    if args.list:
+        for scenario in SCENARIOS:
+            print(f"{scenario.name:28s} {scenario.description}")
+        return 0
+
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+    try:
+        results = run_pack(SCENARIOS, only=only, seed=args.seed)
+    except ScenarioError as exc:
+        print(f"scenarios: {exc}", file=sys.stderr)
+        return 2
+
+    print("scenario pack: named production incidents vs their verdicts")
+    rows = []
+    for r in results:
+        failed_checks = ",".join(
+            name for name, status in r.checks.items() if status != "ok"
+        )
+        rows.append(
+            (
+                r.name,
+                r.verdict,
+                f"{r.duration:.2f}s",
+                f"{r.duration_overhead:.2f}x",
+                r.missing,
+                r.duplicated,
+                r.degradations,
+                "-" if r.recovery_time is None else f"{r.recovery_time:.3f}s",
+                failed_checks or "-",
+            )
+        )
+        if args.verbose or not r.ok:
+            print(f"--- {r.name}: {r.verdict}")
+            for name, status in r.checks.items():
+                print(f"    {name}: {status}")
+            if args.verbose:
+                for when, kind, who in r.recovery_events:
+                    if not kind.startswith("suspected"):
+                        print(f"    t={when:.4f} {kind} {who}")
+    print(
+        render_table(
+            ["scenario", "verdict", "dur", "overhead", "lost", "dup",
+             "degr", "recovery", "failed checks"],
+            rows,
+        )
+    )
+    summary = scenario_summary(results)
+    print(
+        f"\n{summary['scenarios']} scenarios: {summary['passed']} passed, "
+        f"{len(summary['failed'])} failed"
+        + (f" ({', '.join(summary['failed'])})" if summary["failed"] else "")
+    )
+    if args.json:
+        payload = {
+            "summary": summary,
+            "scenarios": [r.to_dict() for r in results],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 1 if summary["failed"] else 0
+
+
 def _audit_matches(kind: str, detail: str, violations) -> bool:
     """Did the sweep flag the artifact this injection damaged?"""
     names = [name for (_kind, name, _detail) in violations]
@@ -1012,6 +1088,24 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--verbose", action="store_true",
                     help="print every case, not just violations")
     pf.set_defaults(fn=_cmd_transparency)
+
+    psc = sub.add_parser(
+        "scenarios",
+        help="production incident scenario pack: named fault schedules "
+             "with per-scenario machine-checked verdicts",
+    )
+    psc.add_argument("--list", action="store_true",
+                     help="list the named scenarios and exit")
+    psc.add_argument("--only", default=None, metavar="NAMES",
+                     help="comma list of scenario names to run")
+    psc.add_argument("--seed", type=int, default=None,
+                     help="override every scenario's seed (default: "
+                          "each scenario's own)")
+    psc.add_argument("--json", default=None, metavar="PATH",
+                     help="write the pack payload (BENCH_scenarios.json)")
+    psc.add_argument("--verbose", action="store_true",
+                     help="print per-check status and recovery events")
+    psc.set_defaults(fn=_cmd_scenarios)
     return parser
 
 

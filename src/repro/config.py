@@ -326,6 +326,11 @@ class JobConfig:
     integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
     #: Recovery-liveness monitoring (stall detection + escalation).
     watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
+    #: How many times a poisoned record (chaos ``poison_pill``) may crash
+    #: its operator before the :class:`~repro.chaos.poison.PoisonRegistry`
+    #: quarantines it — skipping the record with an announced
+    #: ``degraded:poison_quarantined`` event instead of crash-looping.
+    poison_quarantine_after: int = 2
 
     @property
     def effective_checkpoint_timeout(self) -> float:
@@ -350,6 +355,8 @@ class JobConfig:
             raise JobError("watchdog.stall_timeout must be positive (or None)")
         if self.watchdog.escalation_limit < 0 or self.watchdog.escalation_grace < 0:
             raise JobError("watchdog escalation knobs must be >= 0")
+        if self.poison_quarantine_after < 1:
+            raise JobError("poison_quarantine_after must be >= 1")
 
     def with_mode(self, mode: FaultToleranceMode, **clonos_overrides) -> "JobConfig":
         """A copy of this config under a different fault-tolerance scheme."""

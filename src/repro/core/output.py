@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.core.causal_log import MAIN, LogBundle
 from repro.external.kafka import DurableLog
 from repro.graph.elements import StreamRecord
 from repro.operators.base import Context, Operator
@@ -94,6 +95,52 @@ class ExactlyOnceKafkaSink(Operator):
         # The external system stores the determinant alongside the record.
         self._metadata_store().setdefault(self._epoch, []).append(determinant)
         self.appended += 1
+        self._externalize_determinants(ctx)
+
+    def _externalize_determinants(self, ctx: Context) -> None:
+        """Piggyback the sink's own causal log into the external system.
+
+        A sink has no downstream task, so nothing in the dataflow holds its
+        determinants — without this, a recovering sink replays its input in
+        arrival order, which may diverge from the original interleaving and
+        make the count-based skip above dedupe the *wrong* records (one
+        silent loss + one silent duplicate per swapped pair).  Storing the
+        main-log prefix with the records makes the external system the
+        determinant holder, exactly as Section 5.5 prescribes.  Copies are
+        prefix-idempotent, so replaying incarnations re-store harmlessly.
+        """
+        causal = getattr(ctx.services, "causal", None)
+        if causal is None or not causal.enabled:
+            return
+        src = causal.bundle.log(MAIN)
+        ext = self.log.sink_bundles.get(ctx.task_name)
+        if ext is None:
+            ext = self.log.sink_bundles[ctx.task_name] = LogBundle()
+        dst = ext.log(MAIN)
+        for epoch in src.epochs():
+            have = dst.length(epoch)
+            entries = src.entries(epoch)
+            if have < len(entries):
+                dst.merge_slice(epoch, have, entries[have:])
+
+    @property
+    def output_is_externalized(self) -> bool:
+        """True once the external system holds any of this sink's output
+        metadata.  The external world then *depends* on the exact event
+        order that produced it: regenerating this sink's input without
+        determinants would silently break the count-based dedup contract."""
+        if self.appended:
+            return True
+        for index in range(len(self.log.partitions_of(self.topic))):
+            partition = self.log.partition(self.topic, index)
+            if getattr(partition, "output_determinants", None):
+                return True
+        return False
+
+    def external_determinant_bundle(self, task_name: str) -> Optional[LogBundle]:
+        """Recovery hook: the bundle the external system holds for this sink
+        (None if it never externalized anything)."""
+        return self.log.sink_bundles.get(task_name)
 
     def reset_external_dedup(self) -> None:
         """Degraded (global-rollback) restart: replayed input may diverge
@@ -103,6 +150,7 @@ class ExactlyOnceKafkaSink(Operator):
             partition = self.log.partition(self.topic, index)
             if hasattr(partition, "output_determinants"):
                 partition.output_determinants = {}
+        self.log.sink_bundles.clear()
         self._skip = {}
 
     def _metadata_store(self) -> Dict[int, list]:
@@ -120,6 +168,9 @@ class ExactlyOnceKafkaSink(Operator):
         store = self._metadata_store()
         for epoch in [e for e in store if e < checkpoint_id]:
             del store[epoch]
+        bundle = self.log.sink_bundles.get(ctx.task_name)
+        if bundle is not None:
+            bundle.truncate_before(checkpoint_id)
 
     def snapshot(self) -> dict:
         return {"epoch": self._epoch}

@@ -79,6 +79,33 @@ class ChaosError(ReproError):
     """A fault plan is invalid or targets something that does not exist."""
 
 
+class ScenarioError(ChaosError):
+    """A declarative scenario (``repro.scenarios``) is malformed.
+
+    Raised at *load* time — ``Scenario.from_dict`` / ``Scenario.validate``
+    — for unknown fault kinds, negative phase offsets, missing verdict
+    specs, unknown keys, and inconsistent workload shaping, so a bad
+    scenario file fails loudly before anything runs.  Subclasses
+    :class:`ChaosError`: scenario loaders and plan validators share one
+    catchable family.
+    """
+
+
+class PoisonPillError(ReproError):
+    """A poisoned record reached its operator (chaos ``poison_pill``).
+
+    Raised by the task's record path *before* the operator sees the record
+    (no state mutation, no output), so every incarnation that encounters
+    the pill crashes identically until the
+    :class:`~repro.chaos.poison.PoisonRegistry` quarantines it.
+    """
+
+    def __init__(self, task_name: str, origin):
+        super().__init__(f"{task_name}: poisoned record {origin!r}")
+        self.task_name = task_name
+        self.origin = origin
+
+
 class FailureInjectionError(JobError):
     """A fault could not be injected, structured for tooling.
 

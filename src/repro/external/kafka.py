@@ -130,6 +130,96 @@ class GeneratedTopicPartition(TopicPartition):
         return self.total
 
 
+class ShapedGeneratedTopicPartition(GeneratedTopicPartition):
+    """A generated partition with a piecewise-constant arrival rate.
+
+    ``rate_segments`` is an ascending list of ``(start_time, rate)``
+    breakpoints beginning at ``t=0``; the last segment extends forever.
+    This is the input-burst primitive of the scenario pack: the *values*
+    are the same deterministic ``gen_fn(partition, offset)`` sequence as
+    the flat-rate partition, only the arrival times change — so a burst
+    reshapes load without touching record identity, and exactly-once
+    verdicts remain comparable against a flat-rate baseline.
+    """
+
+    def __init__(
+        self,
+        topic: str,
+        partition: int,
+        gen_fn: Callable[[int, int], Any],
+        rate: float,
+        total: Optional[int] = None,
+        rate_segments: Optional[List[Tuple[float, float]]] = None,
+    ):
+        super().__init__(topic, partition, gen_fn, rate, total)
+        segments = list(rate_segments) if rate_segments else [(0.0, rate)]
+        if segments[0][0] != 0.0:
+            raise ExternalSystemError("rate segments must start at t=0")
+        #: (start_time, start_offset, rate) per segment, ascending.
+        self._segments: List[Tuple[float, int, float]] = []
+        cum = 0
+        for i, (start, seg_rate) in enumerate(segments):
+            if seg_rate <= 0:
+                raise ExternalSystemError("rate segments need positive rates")
+            if i > 0 and start <= segments[i - 1][0]:
+                raise ExternalSystemError("rate segments must be ascending in time")
+            self._segments.append((start, cum, seg_rate))
+            if i + 1 < len(segments):
+                span = segments[i + 1][0] - start
+                cum += int(round(span * seg_rate))
+
+    def _segment_at_offset(self, offset: int) -> Tuple[float, int, float]:
+        chosen = self._segments[0]
+        for seg in self._segments:
+            if seg[1] <= offset:
+                chosen = seg
+            else:
+                break
+        return chosen
+
+    def _arrival(self, offset: int) -> float:
+        start, cum, rate = self._segment_at_offset(offset)
+        return start + (offset - cum) / rate
+
+    def read(
+        self, offset: int, max_count: int, now: float = float("inf")
+    ) -> List[Tuple[int, float, Any]]:
+        stop = offset + max_count
+        end = self.end_offset(now)
+        if end < stop:
+            stop = end
+        if stop <= offset:
+            return []
+        gen_fn = self.gen_fn
+        partition = self.partition
+        arrival = self._arrival
+        return [
+            (off, arrival(off), gen_fn(partition, off)) for off in range(offset, stop)
+        ]
+
+    def end_offset(self, now: float = float("inf")) -> int:
+        total = self.total
+        if now == float("inf"):
+            return total if total is not None else 0
+        available = 0
+        for i, (start, cum, rate) in enumerate(self._segments):
+            if start > now:
+                break
+            available = cum + int((now - start) * rate) + 1
+            if i + 1 < len(self._segments):
+                # A segment never exposes the next segment's records early,
+                # however its span * rate rounds.
+                available = min(available, self._segments[i + 1][1])
+        if total is not None and total < available:
+            return total
+        return available
+
+    def next_arrival_after(self, offset: int) -> Optional[float]:
+        if self.total is not None and offset >= self.total:
+            return None
+        return self._arrival(offset)
+
+
 class DurableLog:
     """A broker holding all topics (a 3-node Kafka cluster stand-in).
 
@@ -142,6 +232,11 @@ class DurableLog:
 
     def __init__(self):
         self._partitions: Dict[Tuple[str, int], TopicPartition] = {}
+        #: Sink determinant bundles stored *in the external system*, keyed by
+        #: sink task name (Section 5.5: a sink has no downstream task to hold
+        #: its causal log, so the downstream *system* stores it and returns
+        #: it on recovery).  Written by ExactlyOnceKafkaSink appends.
+        self.sink_bundles: Dict[str, Any] = {}
         #: Every operation before this simulated instant fails.
         self.outage_until = 0.0
         #: Operations before this instant fail with ``brownout_failure_rate``.
@@ -204,6 +299,27 @@ class DurableLog:
         for p in range(partitions):
             self._partitions[(topic, p)] = GeneratedTopicPartition(
                 topic, p, gen_fn, rate_per_partition, total_per_partition
+            )
+
+    def create_shaped_generated_topic(
+        self,
+        topic: str,
+        partitions: int,
+        gen_fn: Callable[[int, int], Any],
+        rate_per_partition: float,
+        total_per_partition: Optional[int] = None,
+        rate_segments: Optional[List[Tuple[float, float]]] = None,
+    ) -> None:
+        """A generated topic whose arrival rate follows piecewise-constant
+        ``rate_segments`` (input bursts); plain generated without them."""
+        for p in range(partitions):
+            self._partitions[(topic, p)] = ShapedGeneratedTopicPartition(
+                topic,
+                p,
+                gen_fn,
+                rate_per_partition,
+                total_per_partition,
+                rate_segments,
             )
 
     def partition(self, topic: str, partition: int = 0) -> TopicPartition:

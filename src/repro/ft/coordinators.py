@@ -34,7 +34,12 @@ from typing import List, Optional
 
 from repro.config import FaultToleranceMode
 from repro.core.causal_log import merge_bundles
-from repro.core.dsd import RecoveryCase, classify_failed_task, downstream_within
+from repro.core.dsd import (
+    RecoveryCase,
+    classify_failed_task,
+    downstream_within,
+    transitive_downstream,
+)
 from repro.errors import (
     ExternalSystemError,
     IntegrityError,
@@ -496,6 +501,21 @@ class ClonosCoordinator(BaseCoordinator):
         case = classify_failed_task(
             self.jm.adjacency, set(self.jm.dead_tasks), task_name, dsd
         )
+        if case is RecoveryCase.FREE and self._externalized_dependent(task_name):
+            # Figure 4 calls this FREE — every dependent failed with it, so
+            # a fresh (divergent) execution is consistent *inside* the job.
+            # But a failed downstream sink that already externalized output
+            # leaves a dependent the analysis cannot see: the external
+            # system's stored order (Section 5.5).  Regenerating that
+            # sink's input without determinants would silently corrupt its
+            # count-based dedup, so treat the task as orphaned instead.
+            case = RecoveryCase.ORPHANED
+            self.jm.recovery_events.append(
+                (self.env.now, "orphan-externalized-output", task_name)
+            )
+            self.jm.trace.emit(
+                self.env.now, "orphan-externalized-output", task_name
+            )
         if case is RecoveryCase.ORPHANED:
             if self.jm.config.clonos.fallback_to_global:
                 # Figure 4, DSD < D, orphaned leaf: trigger a global rollback
@@ -514,6 +534,22 @@ class ClonosCoordinator(BaseCoordinator):
             )
         self.jm.recovering_tasks.add(task_name)
         self._spawn_recovery(vertex, self._supervised_recovery(vertex, case))
+
+    def _externalized_dependent(self, task_name: str) -> bool:
+        """Does any *strictly* downstream task hold externalized output?
+
+        The failed task itself is excluded: a sink recovering alone replays
+        byte-identically from its (surviving) upstreams plus its own
+        externally stored determinant bundle, so its externalized output is
+        safe.  Only an upstream regenerating *fresh* invalidates it."""
+        jm = self.jm
+        for name in transitive_downstream(jm.adjacency, task_name):
+            vertex = jm.vertices.get(name)
+            task = vertex.task if vertex is not None else None
+            operator = getattr(task, "operator", None)
+            if getattr(operator, "output_is_externalized", False):
+                return True
+        return False
 
     def _supervised_recovery(self, vertex, case: RecoveryCase):
         """The escalation ladder around :meth:`_attempt_recovery`."""
@@ -658,6 +694,27 @@ class ClonosCoordinator(BaseCoordinator):
                         )
                         jm.recovery_events.append(
                             (self.env.now, "integrity:determinant-log", name)
+                        )
+                        raise
+                    jm.integrity.record_ok("determinant-log")
+                bundles.append(stored)
+                total_bytes += stored.size_bytes()
+        # Sinks have no downstream holder: the external system stores their
+        # determinants alongside the output (Section 5.5) and returns them
+        # here, so sink replay is byte-identical and count-based output
+        # dedup stays sound.
+        operator = getattr(jm.vertices[vertex.name].task, "operator", None)
+        fetch_external = getattr(operator, "external_determinant_bundle", None)
+        if fetch_external is not None:
+            stored = fetch_external(vertex.name)
+            if stored is not None:
+                if jm.integrity.validate:
+                    try:
+                        stored.verify(owner=f"external:{vertex.name}")
+                    except IntegrityError as exc:
+                        jm.integrity.record_failure(exc.artifact, exc.name, str(exc))
+                        jm.recovery_events.append(
+                            (self.env.now, "integrity:determinant-log", vertex.name)
                         )
                         raise
                     jm.integrity.record_ok("determinant-log")

@@ -92,14 +92,37 @@ def corrupt_standby_image(jm, task_name: str) -> Optional[int]:
     return standby.snapshot.checkpoint_id
 
 
+def _swap_in_buffer_clone(entry):
+    """Replace ``entry.buffer`` with a shallow clone that has its own element
+    list, taking over the log's pool permit.  The original object — possibly
+    still riding a link, or already consumed downstream — keeps its elements:
+    a disk flip cannot retroactively change bytes that left on the wire."""
+    from repro.net.buffer import NetworkBuffer
+
+    buffer = entry.buffer
+    clone = NetworkBuffer(buffer.channel_id, buffer.seq, buffer.epoch, buffer.pool)
+    clone.elements = list(buffer.elements)
+    clone.size_bytes = buffer.size_bytes
+    clone.n_records = buffer.n_records
+    clone.delta = buffer.delta
+    clone.delta_bytes = buffer.delta_bytes
+    clone.recycle_on_consume = buffer.recycle_on_consume
+    buffer.pool = None  # accounting follows the stored artifact
+    entry.buffer = clone
+    return clone
+
+
 def corrupt_inflight_entry(
     jm, task_name: str, rng: random.Random
 ) -> Optional[str]:
     """Bit-flip a logged in-flight buffer: drop or duplicate one element.
 
-    The mutation hits the element *list* (what a future replay re-sends),
-    not the element objects themselves — records already delivered
-    downstream are untouched, as with a real on-disk flip.
+    The mutation hits what the log *stores* (what a future replay re-sends
+    and what the audit sweeps), never the buffer object in motion: the log
+    shares buffers by reference with the network layer (the §6.1 no-copy
+    exchange), so — per this module's copy-on-corrupt rule — the damaged
+    entry gets its own tampered clone.  Records already dispatched or
+    delivered downstream are untouched, as with a real on-disk flip.
     """
     vertex = jm.vertices.get(task_name)
     task = vertex.task if vertex is not None else None
@@ -115,7 +138,7 @@ def corrupt_inflight_entry(
     if not entries:
         return None
     entry = rng.choice(entries)
-    elements = entry.buffer.elements
+    elements = _swap_in_buffer_clone(entry).elements
     if len(elements) > 1 and rng.random() < 0.5:
         elements.pop(rng.randrange(len(elements)))
         kind = "dropped-element"

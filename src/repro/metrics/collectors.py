@@ -216,3 +216,34 @@ def throughput_dip(
     baseline = sum(before) / len(before) if before else 0.0
     worst = min(after) if after else 0.0
     return baseline, worst
+
+
+def scenario_summary(results) -> dict:
+    """Aggregate verdict of a scenario-pack run (duck-typed: accepts
+    :class:`~repro.scenarios.runner.ScenarioResult` objects or their
+    ``to_dict()`` forms), shaped for benchmark ``extra_info``."""
+    def _field(r, name, default=None):
+        if isinstance(r, dict):
+            return r.get(name, default)
+        return getattr(r, name, default)
+
+    failed = sorted(
+        _field(r, "name", "?") for r in results
+        if _field(r, "verdict") != "pass"
+    )
+    worst = [
+        (
+            _field(r, "recovery_time", _field(r, "recovery_time_s")) or 0.0,
+            _field(r, "name", "?"),
+        )
+        for r in results
+    ]
+    slowest = max(worst, default=(0.0, None))
+    return {
+        "scenarios": len(results),
+        "passed": sum(1 for r in results if _field(r, "verdict") == "pass"),
+        "failed": failed,
+        "verdict": "ok" if not failed else "fail",
+        "worst_recovery_s": round(slowest[0], 6),
+        "worst_recovery_scenario": slowest[1],
+    }

@@ -16,13 +16,18 @@ from repro.errors import JobError
 class ClusterNode:
     """One machine hosting task slots."""
 
-    def __init__(self, node_id: int, slots: int):
+    def __init__(self, node_id: int, slots: int, zone: int = 0):
         self.node_id = node_id
         self.slots = slots
         self.occupants: Set[str] = set()
         #: False once the node has crashed (chaos ``node_crash`` with
         #: ``fail_node=True``): no further placements land here.
         self.alive = True
+        #: Availability zone (chaos ``zone_outage`` fails whole zones at
+        #: once).  Zone 0 everywhere unless the cluster was built with
+        #: ``zones > 1``, so single-zone deployments behave exactly as
+        #: before.
+        self.zone = zone
 
     @property
     def free_slots(self) -> int:
@@ -35,11 +40,18 @@ class ClusterNode:
 class Cluster:
     """Slot allocation with optional anti-affinity."""
 
-    def __init__(self, num_nodes: int, slots_per_node: int = 2):
+    def __init__(self, num_nodes: int, slots_per_node: int = 2, zones: int = 1):
         if num_nodes < 1:
             raise JobError("cluster needs at least one node")
+        if zones < 1:
+            raise JobError("cluster needs at least one zone")
+        if zones > num_nodes:
+            raise JobError("cluster cannot have more zones than nodes")
+        self.zones = zones
+        # Round-robin zone assignment keeps zones balanced to within one
+        # node, whatever num_nodes is.
         self.nodes: List[ClusterNode] = [
-            ClusterNode(i, slots_per_node) for i in range(num_nodes)
+            ClusterNode(i, slots_per_node, zone=i % zones) for i in range(num_nodes)
         ]
         self._placement: Dict[str, int] = {}
         #: Placements that had to ignore ``avoid_nodes`` because the cluster
@@ -98,3 +110,25 @@ class Cluster:
 
     def occupants_of_node(self, node_id: int) -> Set[str]:
         return set(self.nodes[node_id].occupants)
+
+    def has_node(self, node_id: int) -> bool:
+        return 0 <= node_id < len(self.nodes)
+
+    # -- availability zones ------------------------------------------------------------
+
+    def nodes_in_zone(self, zone: int) -> List[ClusterNode]:
+        return [n for n in self.nodes if n.zone == zone]
+
+    def live_zones(self) -> List[int]:
+        """Zones that still have at least one live node, ascending."""
+        return sorted({n.zone for n in self.nodes if n.alive})
+
+    def revive_zone(self, zone: int) -> List[int]:
+        """Bring every dead node in a zone back (empty, placeable again) —
+        the zone-outage-ends event.  Returns the revived node ids."""
+        revived = []
+        for node in self.nodes:
+            if node.zone == zone and not node.alive:
+                node.alive = True
+                revived.append(node.node_id)
+        return revived

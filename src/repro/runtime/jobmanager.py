@@ -170,6 +170,16 @@ class JobManager:
         #: Recovery-liveness monitor: armed on the first detected failure,
         #: ticked by the checkpoint coordinator (zero events of its own).
         self.watchdog = RecoveryWatchdog(self)
+        #: Poison-pill bookkeeping (chaos ``poison_pill``): job-scoped so
+        #: pill identity and crash counts survive task incarnations.  (Local
+        #: import: the chaos package's __init__ imports this module back.)
+        from repro.chaos.poison import PoisonRegistry
+
+        self.poison = PoisonRegistry(config.poison_quarantine_after)
+        #: Straggler nodes (chaos ``compute_slowdown``): node id -> CPU-cost
+        #: multiplier, consulted at task (re)build time so replacement
+        #: incarnations landing on a slow node inherit the slowdown.
+        self.node_slowdowns: Dict[int, float] = {}
 
     # -- deployment --------------------------------------------------------------------
 
@@ -343,6 +353,12 @@ class JobManager:
             is_sink=node.is_sink,
         )
         task.node_id = vertex.node_id
+        # Per-incarnation inheritance of scenario-pack faults: a replacement
+        # (or activated standby) built on a straggler node is slow too, and
+        # a task with live/quarantined pills keeps consulting the registry.
+        if self.node_slowdowns and vertex.node_id is not None:
+            task.compute_slowdown = self.node_slowdowns.get(vertex.node_id, 1.0)
+        task._poison_active = self.poison.is_armed(vertex.name)
 
         num_out_channels = sum(len(chans) for (_e, chans) in vertex.out_links)
         mode = self.config.mode
@@ -472,6 +488,21 @@ class JobManager:
                     self.recovery_events.append(
                         (self.env.now, "checkpoint-aborted:timeout", str(cid))
                     )
+                    # Release tasks still aligned on the aborted cut.  If the
+                    # barrier-injection RPC to one source was lost, no task
+                    # ever sees that source's barrier: the alignment holds
+                    # its channels (and, via the bounded buffer pool, the
+                    # whole pipeline) blocked forever.  Recovery can't fix
+                    # this — nothing is dead — so the abort must unwedge it.
+                    for vertex in self.vertices.values():
+                        if vertex.is_source or vertex.task is None:
+                            continue
+                        vertex.task.control.send(
+                            "cancel_alignment",
+                            cid,
+                            reliable=self.config.reliable_control_plane,
+                            retry=self.config.rpc_retry,
+                        )
                 continue
             if self.dead_tasks or self.recovering_tasks:
                 continue  # pause during recovery
@@ -803,6 +834,17 @@ class JobManager:
     def note_control_drop(self, owner: str, kind: str, reason: str) -> None:
         """Per-queue drop accounting rollup (chaos loss ledger)."""
         self.control_plane_drops[(owner, kind, reason)] += 1
+
+    def note_poison_quarantine(self, task_name: str, origin) -> None:
+        """A poison pill crossed its crash budget and is now skipped forever:
+        an *announced* degradation (the record is knowingly dropped), so
+        divergence-from-baseline checkers can tell it from silent loss."""
+        self.recovery_events.append(
+            (self.env.now, "degraded:poison_quarantined", task_name)
+        )
+        self.trace.emit(
+            self.env.now, "poison-quarantined", task_name, origin=str(origin)
+        )
 
     def cancel_recovery_procs(self) -> None:
         """Kill every in-flight recovery process (global restart supersedes

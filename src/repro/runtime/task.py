@@ -29,7 +29,13 @@ from repro.core.determinants import (
 )
 from repro.core.inflight_log import InFlightLog
 from repro.core.recovery import RecoveryManager
-from repro.errors import DeterminantLogError, IntegrityError, RecoveryError
+from repro.errors import (
+    DeterminantLogError,
+    ExternalSystemError,
+    IntegrityError,
+    PoisonPillError,
+    RecoveryError,
+)
 from repro.graph.elements import (
     CheckpointBarrier,
     EndOfStream,
@@ -142,6 +148,13 @@ class StreamTask:
         self.status = TaskStatus.CREATED
 
         self._cpu_debt = 0.0
+        #: Straggler-node multiplier (chaos ``compute_slowdown``); 1.0 keeps
+        #: ``_pay`` on the exact historical arithmetic.
+        self.compute_slowdown = 1.0
+        #: True only while the poison registry has pills/arms for this task
+        #: name — the per-record registry consult is skipped entirely
+        #: otherwise (hot-path passivity).
+        self._poison_active = False
         self._aligning: Optional[int] = None
         self._barriers_received: set = set()
         #: Checkpoint ids whose alignment was cancelled because an upstream
@@ -360,6 +373,8 @@ class StreamTask:
     def _pay(self):
         if self._cpu_debt > 0:
             debt, self._cpu_debt = self._cpu_debt, 0.0
+            if self.compute_slowdown != 1.0:
+                debt *= self.compute_slowdown
             yield self.env.timeout(debt)
 
     # -- main loops --------------------------------------------------------------------------
@@ -393,6 +408,33 @@ class StreamTask:
                     continue
                 yield self._wait_for_work()
         except Interrupt:
+            return
+        except PoisonPillError:
+            # A pill is an injected *fault*, not a job bug: this incarnation
+            # dies like a task_kill and the normal recovery path replays it
+            # back to the same record, where the registry rules again.
+            name = self.name
+            jm = self.jm
+            jm.recovery_events.append((self.env.now, "poison-crash", name))
+            jm.trace.emit(self.env.now, "poison-crash", name)
+            self.env.schedule_callback(
+                0.0, lambda: jm.kill_task(name, force=True)
+            )
+            return
+        except ExternalSystemError as exc:
+            # An external system refused an operation mid-stream (broker
+            # outage/brownout reaching a sink append).  Production runtimes
+            # fail the task, not the job: recovery replays the sink's input
+            # byte-identically and the Section 5.5 skip counts dedupe what
+            # already landed, so once the external system returns the output
+            # is still exactly-once.
+            name = self.name
+            jm = self.jm
+            jm.recovery_events.append((self.env.now, "external-crash", name))
+            jm.trace.emit(self.env.now, "external-crash", name, error=str(exc))
+            self.env.schedule_callback(
+                0.0, lambda: jm.kill_task(name, force=True)
+            )
             return
         except Exception as exc:  # noqa: BLE001 — surface bugs to the JM
             self.jm.task_crashed(self, exc)
@@ -471,9 +513,27 @@ class StreamTask:
             if buffer.delta:
                 # Store the piggybacked determinants BEFORE processing the
                 # records that depend on them (always-no-orphans, Section 5.3).
-                self.causal.merge_delta(
-                    buffer.delta, self.input_infos[channel_index].upstream_task
-                )
+                try:
+                    self.causal.merge_delta(
+                        buffer.delta, self.input_infos[channel_index].upstream_task
+                    )
+                except DeterminantLogError:
+                    # A compound incident (e.g. a zone outage) can rebuild
+                    # both ends of a channel into disagreeing log positions.
+                    # Under fallback_to_global that is an announced global
+                    # rollback, not a job crash; without it, surface the bug.
+                    if (
+                        self.config.mode is not FaultToleranceMode.CLONOS
+                        or not self.config.clonos.fallback_to_global
+                    ):
+                        raise
+                    self.jm.recovery_events.append(
+                        (self.env.now, "determinant-delta-gap", self.name)
+                    )
+                    self.jm.coordinator.degrade(self.name, "determinant-delta-gap")
+                    if buffer.recycle_on_consume:
+                        buffer.recycle()
+                    return
                 entries = 0
                 for s in buffer.delta:
                     entries += len(s[4])
@@ -500,6 +560,22 @@ class StreamTask:
                     if self._seep_drop.get(channel_index, 0) > 0:
                         self._seep_drop[channel_index] -= 1
                         self.seep_records_dropped += 1
+                        continue
+                if self._poison_active:
+                    # Consulted BEFORE any counter or operator touch: a
+                    # "crash" verdict must leave no artifact containing this
+                    # record, and a skip must be byte-identical on every
+                    # incarnation that replays past it.
+                    verdict = self.jm.poison.on_record(self.name, element.value)
+                    if verdict != "pass":
+                        if verdict == "crash":
+                            raise PoisonPillError(
+                                self.name, self.jm.poison.origin_of(element.value)
+                            )
+                        if verdict == "quarantine":
+                            self.jm.note_poison_quarantine(
+                                self.name, self.jm.poison.origin_of(element.value)
+                            )
                         continue
                 self.offset_in_epoch += 1
                 self.records_processed += 1
@@ -747,6 +823,8 @@ class StreamTask:
             self._on_checkpoint_complete(message.payload)
         elif kind == "replay_request":
             self._on_replay_request(**message.payload)
+        elif kind == "cancel_alignment":
+            self._cancel_alignment(message.payload)
         elif kind == "stop":
             raise Interrupt("stopped")
         else:
@@ -761,6 +839,23 @@ class StreamTask:
                 BarrierInjectDeterminant(checkpoint_id, self.offset_in_epoch)
             )
         yield from self._take_checkpoint(checkpoint_id)
+
+    def _cancel_alignment(self, checkpoint_id: int) -> None:
+        """The coordinator aborted this pending cut on its timeout (e.g. the
+        barrier-injection RPC to one source was lost, so one input never
+        carries the barrier).  An alignment on it would hold channels —
+        and, through the bounded buffer pool, the whole pipeline — blocked
+        forever.  Drop the cut and release the channels; the id is
+        remembered so a late barrier cannot restart the alignment."""
+        self._cancelled_alignments.add(checkpoint_id)
+        if self._aligning != checkpoint_id:
+            return
+        self._aligning = None
+        self._barriers_received = set()
+        self.jm.recovery_events.append(
+            (self.env.now, f"alignment-cancelled:{checkpoint_id}", self.name)
+        )
+        self.gate.unblock_all()
 
     def _on_checkpoint_complete(self, checkpoint_id: int) -> None:
         if self.causal is not None:
@@ -844,18 +939,32 @@ class StreamTask:
 
     # -- determinant-driven replay (recovery) ---------------------------------------------------
 
-    def _abandon_replay(self, exc: DeterminantLogError):
-        """Availability mode (Section 5.4, fallback disabled): if replay
-        diverges (an upstream recovered without determinants), abandon the
-        log and continue divergently — at-least-once instead of crashing."""
-        if self.config.clonos.fallback_to_global:
-            raise exc
+    def _abandon_replay(self, exc: DeterminantLogError) -> bool:
+        """Replay cannot proceed consistently from the logs (an upstream
+        recovered without determinants, or a compound incident — e.g. a
+        zone outage — rebuilt both ends of a channel into disagreeing log
+        positions).
+
+        Consistency mode (``fallback_to_global``): announce the divergence
+        and degrade to a global rollback, which regenerates the lost data
+        from the sources — an injected compound fault is absorbed, never
+        surfaced as a job crash.  Returns True: the caller must stop
+        replaying (the restart cancels this incarnation).
+
+        Availability mode (Section 5.4, fallback disabled): abandon the log
+        and continue divergently — at-least-once.  Returns False: the
+        caller keeps processing the buffer it holds."""
         self.jm.recovery_events.append((self.env.now, "replay-diverged", self.name))
+        if self.config.clonos.fallback_to_global:
+            self.recovery.force_finish()
+            self.jm.coordinator.degrade(self.name, "replay-diverged")
+            return True
         for channel in self.all_output_channels:
             channel.suppress_until_seq = -1
             channel.forced_cuts.clear()
         self.recovery.force_finish()
         self._finish_recovery()
+        return False
 
     def _data_replay_step(self):
         det = self.recovery.peek_control()
@@ -867,16 +976,20 @@ class StreamTask:
             self.recovery.pop_control()
             buffer = yield from self.gate.take_from(det.channel)
             if buffer.seq != det.seq:
-                self._abandon_replay(
+                if self._abandon_replay(
                     DeterminantLogError(
                         f"{self.name}: replay expected buffer seq {det.seq} on "
                         f"channel {det.channel}, got {buffer.seq}"
                     )
-                )
+                ):
+                    if buffer.recycle_on_consume:
+                        buffer.recycle()
+                    return
             try:
                 yield from self._process_buffer(det.channel, buffer)
             except DeterminantLogError as exc:
-                self._abandon_replay(exc)
+                if self._abandon_replay(exc):
+                    return
             yield from self._pay()
         elif det.kind == "timer":
             self.recovery.pop_control()

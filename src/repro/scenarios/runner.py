@@ -1,0 +1,308 @@
+"""Execute scenarios and grade their verdicts.
+
+Each run mirrors the chaos soak harness (synthetic nondeterministic chain,
+exactly-once sink) but adds: a zoned cluster with spare nodes, workload
+shaping, a failure-free *baseline* run (cached per workload) whose output
+digest and duration anchor the verdict, and a deterministic transcript
+digest — the same scenario + seed reproduces the same transcript byte for
+byte, so a failing scenario replays exactly under ``repro scenarios
+--only <name>``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.soak import (
+    DEGRADATION_MARKERS,
+    fast_chaos_config,
+    output_projection,
+)
+from repro.errors import JobError, ScenarioError
+from repro.external.kafka import DurableLog
+from repro.metrics.collectors import stall_summary
+from repro.runtime.cluster import Cluster
+from repro.runtime.jobmanager import JobManager
+from repro.scenarios.model import Scenario, WorkloadSpec
+from repro.sim.core import Environment
+from repro.workloads.synthetic import synthetic_chain
+
+IN_TOPIC = "scenario-in"
+OUT_TOPIC = "scenario-out"
+
+#: Failure-free baseline cache: (workload key, seed, interval) ->
+#: (projection Counter, duration).  Scenarios sharing a workload pay for
+#: one baseline run, not one per scenario.
+_BASELINE_CACHE: Dict[Tuple, Tuple[Counter, float]] = {}
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario run, graded."""
+
+    name: str
+    verdict: str  # "pass" | "fail"
+    checks: Dict[str, str]  # check name -> "ok" | "fail: <detail>"
+    seed: int
+    duration: float
+    baseline_duration: float
+    expected: int
+    delivered: int
+    missing: int
+    duplicated: int
+    quarantined: int
+    degradations: int
+    recovery_time: Optional[float]
+    transcript_digest: str
+    chaos_summary: Dict[str, object] = field(default_factory=dict)
+    recovery_events: List[Tuple[float, str, str]] = field(
+        default_factory=list, repr=False
+    )
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "pass"
+
+    @property
+    def duration_overhead(self) -> float:
+        """Wall-clock (simulated) cost of the incident vs. failure-free."""
+        if self.baseline_duration <= 0:
+            return 0.0
+        return self.duration / self.baseline_duration
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "verdict": self.verdict,
+            "checks": dict(self.checks),
+            "seed": self.seed,
+            "duration_s": round(self.duration, 6),
+            "baseline_duration_s": round(self.baseline_duration, 6),
+            "duration_overhead": round(self.duration_overhead, 4),
+            "expected": self.expected,
+            "delivered": self.delivered,
+            "missing": self.missing,
+            "duplicated": self.duplicated,
+            "quarantined": self.quarantined,
+            "degradations": self.degradations,
+            "recovery_time_s": None
+            if self.recovery_time is None
+            else round(self.recovery_time, 6),
+            "transcript_digest": self.transcript_digest,
+            "chaos": dict(self.chaos_summary),
+        }
+
+
+def _build_job(workload: WorkloadSpec, seed: int, checkpoint_interval: float):
+    config = fast_chaos_config(seed=seed, checkpoint_interval=checkpoint_interval)
+    env = Environment()
+    log = DurableLog()
+    graph = synthetic_chain(
+        log,
+        depth=workload.depth,
+        parallelism=workload.parallelism,
+        rate_per_partition=workload.rate,
+        total_per_partition=workload.n_records,
+        state_bytes_per_task=workload.state_bytes,
+        num_keys=workload.num_keys,
+        nondeterministic=True,
+        in_topic=IN_TOPIC,
+        out_topic=OUT_TOPIC,
+        exactly_once_sink=True,
+        shaping=workload.shaping,
+    )
+    cluster = Cluster(
+        num_nodes=max(4, graph.total_tasks) + workload.spare_nodes,
+        slots_per_node=2,
+        zones=workload.zones,
+    )
+    jm = JobManager(env, graph, config, cluster=cluster)
+    return env, log, jm
+
+
+def _baseline(workload: WorkloadSpec, seed: int, interval: float) -> Tuple[Counter, float]:
+    key = (workload.cache_key(), seed, interval)
+    cached = _BASELINE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    env, log, jm = _build_job(workload, seed, interval)
+    jm.deploy()
+    jm.run_until_done(limit=120.0)
+    projection = output_projection(
+        entry.value for entry in log.read_all(OUT_TOPIC)
+    )
+    result = (projection, env.now)
+    _BASELINE_CACHE[key] = result
+    return result
+
+
+def _transcript_digest(
+    seed: int,
+    recovery_events: Sequence[Tuple[float, str, str]],
+    chaos_notes: Sequence,
+    projection: Counter,
+) -> str:
+    """Byte-stable digest of everything observable about the run: the seed,
+    the recovery-event timeline, the chaos engine's injection notes, and the
+    output projection.  Same seed -> same transcript -> same digest."""
+    h = hashlib.sha256()
+    h.update(f"seed={seed}\n".encode())
+    for t, kind, who in recovery_events:
+        h.update(f"{t!r}|{kind}|{who}\n".encode())
+    for note in chaos_notes:
+        h.update(f"{note!r}\n".encode())
+    for pair, count in sorted(projection.items()):
+        h.update(f"{pair!r}={count}\n".encode())
+    return h.hexdigest()
+
+
+def _recovery_spans(
+    recovery_events: Sequence[Tuple[float, str, str]], end_time: float
+) -> List[Tuple[str, float]]:
+    """(task, seconds) per detected failure, measured detected -> recovered.
+    A detection never followed by recovery (the run ended degraded, or a
+    global restart superseded it) spans to the next global restart if one
+    follows, else to the end of the run."""
+    pending: Dict[str, List[float]] = {}
+    spans: List[Tuple[str, float]] = []
+    restarts = [t for (t, kind, _w) in recovery_events if kind == "global-restart-begin"]
+    for t, kind, who in recovery_events:
+        if kind == "detected":
+            pending.setdefault(who, []).append(t)
+        elif kind == "recovered" and pending.get(who):
+            spans.append((who, t - pending[who].pop(0)))
+    for who, starts in pending.items():
+        for start in starts:
+            later = [t for t in restarts if t >= start]
+            spans.append((who, (later[0] if later else end_time) - start))
+    return spans
+
+
+def run_scenario(scenario: Scenario, seed: Optional[int] = None) -> ScenarioResult:
+    """Run one scenario and grade it against its verdict spec."""
+    scenario.validate()
+    run_seed = scenario.seed if seed is None else seed
+    plan = scenario.fault_plan(seed=run_seed)
+    baseline_projection, baseline_duration = _baseline(
+        scenario.workload, run_seed, scenario.checkpoint_interval
+    )
+
+    env, log, jm = _build_job(
+        scenario.workload, run_seed, scenario.checkpoint_interval
+    )
+    jm.deploy()
+    engine = ChaosEngine(jm, plan)
+    engine.arm()
+    checks: Dict[str, str] = {}
+    try:
+        jm.run_until_done(limit=scenario.limit)
+        checks["completed"] = "ok"
+    except JobError as exc:
+        checks["completed"] = f"fail: {exc}"
+
+    projection = output_projection(
+        entry.value for entry in log.read_all(OUT_TOPIC)
+    )
+    missing = [pair for pair in baseline_projection if projection[pair] == 0]
+    extra = [pair for pair in projection if pair not in baseline_projection]
+    duplicated = {pair: c for pair, c in projection.items() if c > 1}
+    degradations = [
+        (t, kind, who)
+        for (t, kind, who) in jm.recovery_events
+        if kind in DEGRADATION_MARKERS
+    ]
+    quarantined = {ident for (_task, ident) in jm.poison.quarantine_log}
+
+    # -- output check -------------------------------------------------------
+    verdict_spec = scenario.verdict
+    if extra:
+        checks["output"] = f"fail: {len(extra)} records outside the baseline set"
+    elif verdict_spec.allow_announced_divergence:
+        unannounced_loss = [pair for pair in missing if pair not in quarantined]
+        if unannounced_loss:
+            checks["output"] = (
+                f"fail: {len(unannounced_loss)} records silently lost"
+            )
+        elif duplicated and not degradations:
+            checks["output"] = (
+                f"fail: {sum(c - 1 for c in duplicated.values())} duplicates "
+                "without an announced degradation"
+            )
+        else:
+            checks["output"] = "ok"
+    else:
+        if missing or duplicated:
+            checks["output"] = (
+                f"fail: missing={len(missing)} "
+                f"duplicated={sum(c - 1 for c in duplicated.values())}"
+            )
+        else:
+            checks["output"] = "ok"
+
+    # -- recovery-time check ------------------------------------------------
+    spans = _recovery_spans(jm.recovery_events, env.now)
+    worst = max((s for _w, s in spans), default=None)
+    if verdict_spec.max_recovery_s is not None:
+        slow = [
+            (who, s) for who, s in spans if s > verdict_spec.max_recovery_s
+        ]
+        if slow:
+            who, s = max(slow, key=lambda x: x[1])
+            checks["recovery"] = (
+                f"fail: {who} took {s:.3f}s "
+                f"(budget {verdict_spec.max_recovery_s:g}s)"
+            )
+        else:
+            checks["recovery"] = "ok"
+
+    # -- watchdog check -----------------------------------------------------
+    if verdict_spec.require_watchdog_ok:
+        stall = stall_summary(jm)
+        checks["watchdog"] = (
+            "ok"
+            if stall["verdict"] == "ok"
+            else f"fail: {stall['stalls_detected']} stalls detected"
+        )
+
+    digest = _transcript_digest(
+        run_seed, jm.recovery_events, engine.applied + engine.skipped, projection
+    )
+    failed = [name for name, status in checks.items() if status != "ok"]
+    return ScenarioResult(
+        name=scenario.name,
+        verdict="fail" if failed else "pass",
+        checks=checks,
+        seed=run_seed,
+        duration=env.now,
+        baseline_duration=baseline_duration,
+        expected=sum(baseline_projection.values()),
+        delivered=sum(projection.values()),
+        missing=len(missing),
+        duplicated=sum(c - 1 for c in duplicated.values()),
+        quarantined=len(quarantined),
+        degradations=len(degradations),
+        recovery_time=worst,
+        transcript_digest=digest,
+        chaos_summary=engine.summary(),
+        recovery_events=list(jm.recovery_events),
+    )
+
+
+def run_pack(
+    scenarios: Sequence[Scenario],
+    only: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+) -> List[ScenarioResult]:
+    """Run a list of scenarios (optionally filtered by name)."""
+    selected = list(scenarios)
+    if only:
+        wanted = set(only)
+        unknown = wanted - {s.name for s in scenarios}
+        if unknown:
+            raise ScenarioError(f"unknown scenario(s): {sorted(unknown)}")
+        selected = [s for s in selected if s.name in wanted]
+    return [run_scenario(s, seed=seed) for s in selected]

@@ -13,15 +13,110 @@ behaviour the paper highlights.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.core.output import ExactlyOnceKafkaSink
+from repro.errors import ScenarioError
 from repro.external.kafka import DurableLog
 from repro.graph.elements import StreamRecord
 from repro.graph.logical import JobGraph, JobGraphBuilder
 from repro.operators import KafkaSink, KafkaSource, Operator
 from repro.operators.base import Context
 from repro.state.backend import ValueStateDescriptor
+
+
+@dataclass(frozen=True)
+class InputBurst:
+    """The input rate is multiplied by ``factor`` during
+    ``[start, start + duration)`` — a backpressure-storm primitive.
+
+    Record *identity* is untouched: the same ``(partition, offset)``
+    sequence arrives, only earlier/later, so exactly-once verdicts stay
+    comparable against a flat-rate baseline."""
+
+    start: float
+    duration: float
+    factor: float
+
+    def validate(self) -> None:
+        if self.start < 0:
+            raise ScenarioError("input burst: start must be >= 0")
+        if self.duration <= 0:
+            raise ScenarioError("input burst: duration must be > 0")
+        if self.factor <= 0:
+            raise ScenarioError("input burst: factor must be > 0")
+
+
+@dataclass(frozen=True)
+class HotKeySkew:
+    """Route a deterministic ``fraction`` of the records whose offsets fall
+    in ``[start_offset, end_offset)`` to one hot key — the hot-key-skew
+    primitive.  Selection is pure arithmetic on the record's origin
+    ``(partition, offset)``, so the same records are hot on every run and
+    every incarnation (no RNG in the record path)."""
+
+    start_offset: int
+    end_offset: int
+    fraction: float
+    hot_key: int = 0
+
+    def validate(self) -> None:
+        if self.start_offset < 0 or self.end_offset <= self.start_offset:
+            raise ScenarioError("hot-key skew: need 0 <= start_offset < end_offset")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ScenarioError("hot-key skew: fraction must be in (0, 1]")
+        if self.hot_key < 0:
+            raise ScenarioError("hot-key skew: hot_key must be >= 0")
+
+    def is_hot(self, partition: int, offset: int) -> bool:
+        if not self.start_offset <= offset < self.end_offset:
+            return False
+        # Knuth-style multiplicative hash — deterministic, seedless, cheap.
+        return ((partition * 8191 + offset) * 2654435761) % 1000 < int(
+            self.fraction * 1000
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadShaping:
+    """Everything a scenario may reshape about the synthetic workload."""
+
+    bursts: Tuple[InputBurst, ...] = ()
+    hot_keys: Optional[HotKeySkew] = None
+
+    def validate(self) -> None:
+        for burst in self.bursts:
+            burst.validate()
+        if self.hot_keys is not None:
+            self.hot_keys.validate()
+
+    @property
+    def active(self) -> bool:
+        return bool(self.bursts) or self.hot_keys is not None
+
+
+def rate_segments_for(
+    base_rate: float, bursts: Tuple[InputBurst, ...]
+) -> Optional[List[Tuple[float, float]]]:
+    """Piecewise-constant ``(start_time, rate)`` breakpoints realizing the
+    bursts over a flat ``base_rate``; None when there are no bursts (the
+    caller then uses the plain generated topic — byte-identical to the
+    pre-shaping path)."""
+    if not bursts:
+        return None
+    segments: List[Tuple[float, float]] = []
+    cursor = 0.0
+    for burst in sorted(bursts, key=lambda b: b.start):
+        burst.validate()
+        if burst.start < cursor:
+            raise ScenarioError("input bursts must not overlap")
+        if burst.start > cursor:
+            segments.append((cursor, base_rate))
+        segments.append((burst.start, base_rate * burst.factor))
+        cursor = burst.start + burst.duration
+    segments.append((cursor, base_rate))
+    return segments
 
 
 class StatefulStageOperator(Operator):
@@ -71,21 +166,42 @@ def synthetic_chain(
     in_topic: str = "synthetic-in",
     out_topic: str = "synthetic-out",
     exactly_once_sink: bool = False,
+    shaping: Optional[WorkloadShaping] = None,
 ) -> JobGraph:
     """Build the chain source -> stage1 -> ... -> stage<depth-1> -> sink,
     keyed (shuffled) between consecutive stages.
 
     ``exactly_once_sink`` swaps the plain :class:`KafkaSink` for the
     Section 5.5 determinant-piggyback sink, so replaying the sink task
-    itself does not duplicate output (requires causal recovery)."""
+    itself does not duplicate output (requires causal recovery).
+
+    ``shaping`` applies scenario-pack workload shaping: input bursts change
+    arrival *times* (not record identity) via a shaped generated topic, and
+    hot-key skew reroutes a deterministic subset of records to one key.
+    ``None`` (the default) takes the exact historical code path."""
+    if shaping is not None:
+        shaping.validate()
+    bursts = shaping.bursts if shaping is not None else ()
+    hot = shaping.hot_keys if shaping is not None else None
     if (in_topic, 0) not in log._partitions:
-        log.create_generated_topic(
-            in_topic,
-            parallelism,
-            lambda p, off: (p, off),
-            rate_per_partition,
-            total_per_partition,
-        )
+        segments = rate_segments_for(rate_per_partition, bursts)
+        if segments is not None:
+            log.create_shaped_generated_topic(
+                in_topic,
+                parallelism,
+                lambda p, off: (p, off),
+                rate_per_partition,
+                total_per_partition,
+                segments,
+            )
+        else:
+            log.create_generated_topic(
+                in_topic,
+                parallelism,
+                lambda p, off: (p, off),
+                rate_per_partition,
+                total_per_partition,
+            )
     if (out_topic, 0) not in log._partitions:
         log.create_topic(out_topic, parallelism)
     builder = JobGraphBuilder(f"synthetic-d{depth}-p{parallelism}")
@@ -93,12 +209,27 @@ def synthetic_chain(
         "src", lambda: KafkaSource(log, in_topic), parallelism=parallelism
     )
     for stage in range(1, max(2, depth)):
-        stream = stream.key_by(lambda v, s=stage: (v[0] * 31 + v[1] + s) % num_keys).process(
-            f"stage{stage}",
-            lambda s=stage: StatefulStageOperator(
-                s, num_keys, state_bytes_per_task, nondeterministic
-            ),
-        )
+        if hot is not None:
+            def keyed(v, s=stage, hk=hot):
+                if hk.is_hot(v[0], v[1]):
+                    return hk.hot_key % num_keys
+                return (v[0] * 31 + v[1] + s) % num_keys
+
+            stream = stream.key_by(keyed).process(
+                f"stage{stage}",
+                lambda s=stage: StatefulStageOperator(
+                    s, num_keys, state_bytes_per_task, nondeterministic
+                ),
+            )
+        else:
+            stream = stream.key_by(
+                lambda v, s=stage: (v[0] * 31 + v[1] + s) % num_keys
+            ).process(
+                f"stage{stage}",
+                lambda s=stage: StatefulStageOperator(
+                    s, num_keys, state_bytes_per_task, nondeterministic
+                ),
+            )
     if exactly_once_sink:
         stream.key_by(lambda v: v[1] % parallelism).sink(
             "sink", lambda: ExactlyOnceKafkaSink(log, out_topic)

@@ -115,3 +115,26 @@ def test_summary_reports_applied_and_drops():
     summary = engine.summary()
     assert summary["applied"] == 1
     assert summary["kinds"] == ["standby_loss"]
+
+
+def test_node_crash_by_node_id():
+    """Node-targeting kinds accept a bare node id as well as a task name."""
+    env, log, jm = deploy_chaos_chain()
+    node = jm.vertices["stage1[0]"].node_id
+    plan = FaultPlan().add(0.25, "node_crash", target=str(node))
+    engine = ChaosEngine(jm, plan)
+    engine.arm()
+    jm.run_until_done(limit=600)
+    assert engine.applied == [(0.25, "node_crash", f"node:{node}")]
+    assert_exactly_once(log, 2, 1200)
+
+
+def test_node_crash_out_of_range_node_id_skips():
+    env, log, jm = deploy_chaos_chain()
+    plan = FaultPlan().add(0.25, "node_crash", target="9999")
+    engine = ChaosEngine(jm, plan)
+    engine.arm()
+    jm.run_until_done(limit=600)
+    assert engine.applied == []
+    assert engine.skipped[0][3] == "no such node"
+    assert_exactly_once(log, 2, 1200)

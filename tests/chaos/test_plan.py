@@ -67,3 +67,31 @@ def test_random_plan_kind_restriction():
     plan = random_plan(5, 10.0, task_names=TASKS, kinds=["task_kill"],
                        max_faults=6)
     assert plan.kinds() == ["task_kill"]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        # Uniform range checks across every kind:
+        dict(at=1.0, kind="external_faults", factor=0.5),
+        dict(at=1.0, kind="compute_slowdown", factor=0.9),
+        dict(at=1.0, kind="poison_pill", count=0),
+        dict(at=1.0, kind="broker_brownout", rate=1.5),
+        # Targetless kinds are job-wide: a task/link target is a spec bug.
+        dict(at=1.0, kind="dfs_outage", target="stage1[0]"),
+        dict(at=1.0, kind="broker_outage", target="stage1[0]"),
+        dict(at=1.0, kind="external_faults", target="x"),
+    ],
+)
+def test_uniform_validation_rejects(bad):
+    with pytest.raises(ChaosError):
+        FaultSpec(**bad).validate()
+
+
+def test_targetless_kinds_accept_only_wildcard():
+    from repro.chaos import TARGETLESS_KINDS
+
+    for kind in TARGETLESS_KINDS:
+        FaultSpec(at=1.0, kind=kind).validate()  # target="*" is fine
+        with pytest.raises(ChaosError, match="target"):
+            FaultSpec(at=1.0, kind=kind, target="node0").validate()

@@ -126,6 +126,64 @@ def test_seed_64853_regression_recovery_hang_mode():
         )
 
 
+def test_seed_16079_regression_in_transit_corruption_mode():
+    """Wire-corruption mode: a bitflip landing on an already-dispatched log
+    entry used to duplicate a record the receiver had yet to consume.
+
+    Root cause: the in-flight log shares buffer objects with the network
+    layer (the §6.1 no-copy exchange), and ``corrupt_inflight_entry``
+    mutated the shared element list in place — so a flip injected *after*
+    the replay's checksum-then-send leaked into the delivery anyway, which
+    no real on-disk flip can do to bytes already on the wire.  The fix makes
+    the bitflip copy-on-corrupt: the log entry gets a tampered clone and the
+    in-transit original stays intact.
+    """
+    result = run_integrity_experiment(16079, limit=LIMIT)
+    assert result.verdict == "exactly-once", describe(result)
+    assert result.chaos.missing == 0, describe(result)
+    assert result.chaos.duplicated == 0, describe(result)
+    # The at-rest damage itself is still real and still detected: the
+    # closing audit flags the tampered stored entry.
+    assert any(
+        kind == "inflight-segment" for (kind, _n, _d) in result.audit.violations
+    ), result.audit.violations
+
+
+def test_bitflip_never_touches_the_buffer_in_motion():
+    """The copy-on-corrupt contract, unit-level: after the flip, the log
+    stores a tampered clone (audit-detectable) while the originally
+    dispatched buffer object — what a receiver would consume — is intact."""
+    import random
+
+    from repro.integrity.corruption import corrupt_inflight_entry
+    from tests.chaos.helpers import deploy_chaos_chain
+
+    env, log, jm = deploy_chaos_chain()
+    victim = "stage1[0]"
+    originals = {}
+
+    def snapshot():
+        task = jm.vertices[victim].task
+        for entries in task.inflight._entries.values():
+            for entry in entries:
+                key = (entry.buffer.channel_id, entry.buffer.seq)
+                originals[key] = (entry.buffer, list(entry.buffer.elements))
+
+    detail = {}
+
+    def flip():
+        snapshot()
+        detail["flipped"] = corrupt_inflight_entry(jm, victim, random.Random(1))
+
+    env.schedule_callback(0.4, flip)
+    jm.run_until_done(limit=600)
+    assert detail["flipped"] is not None
+    ch, seq, _kind = detail["flipped"].split(":")
+    key = (int(ch[2:]), int(seq[3:]))
+    buffer, elements = originals[key]
+    assert buffer.elements == elements, "in-motion buffer was mutated"
+
+
 def test_validation_disabled_is_demonstrably_silent():
     # The control arm: identical plan, checksums exist but nothing checks
     # them — the corrupted restore flows through and records are lost with

@@ -1,0 +1,149 @@
+"""The scenario DSL: strict loading, round-tripping, plan flattening."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import SCENARIOS, FaultEntry, Phase, Scenario, VerdictSpec
+from repro.scenarios.library import scenario_by_name
+
+
+def _minimal_dict(**overrides):
+    data = {
+        "name": "one-kill",
+        "description": "kill one task",
+        "phases": [
+            {
+                "name": "kill",
+                "at": 0.2,
+                "faults": [{"kind": "task_kill", "target": "stage1[0]"}],
+            }
+        ],
+        "verdict": {"exactly_once": True},
+    }
+    data.update(overrides)
+    return data
+
+
+def test_round_trip_every_library_scenario():
+    for scenario in SCENARIOS:
+        data = scenario.to_dict()
+        again = Scenario.from_dict(data)
+        assert again == scenario
+        assert again.to_dict() == data
+
+
+def test_round_trip_preserves_fault_plan():
+    for scenario in SCENARIOS:
+        again = Scenario.from_dict(scenario.to_dict())
+        assert again.fault_plan().specs == scenario.fault_plan().specs
+
+
+def test_minimal_scenario_loads():
+    scenario = Scenario.from_dict(_minimal_dict())
+    plan = scenario.fault_plan()
+    assert [(s.at, s.kind, s.target) for s in plan.specs] == [
+        (0.2, "task_kill", "stage1[0]")
+    ]
+
+
+def test_unknown_fault_kind_rejected():
+    bad = _minimal_dict()
+    bad["phases"][0]["faults"][0]["kind"] = "meteor_strike"
+    with pytest.raises(ScenarioError, match="meteor_strike"):
+        Scenario.from_dict(bad)
+
+
+def test_unknown_keys_rejected_at_every_level():
+    with pytest.raises(ScenarioError, match="unknown keys"):
+        Scenario.from_dict(_minimal_dict(bogus=1))
+    bad = _minimal_dict()
+    bad["phases"][0]["bogus"] = 1
+    with pytest.raises(ScenarioError, match="unknown keys"):
+        Scenario.from_dict(bad)
+    bad = _minimal_dict()
+    bad["phases"][0]["faults"][0]["bogus"] = 1
+    with pytest.raises(ScenarioError, match="unknown keys"):
+        Scenario.from_dict(bad)
+    bad = _minimal_dict()
+    bad["verdict"]["bogus"] = 1
+    with pytest.raises(ScenarioError, match="unknown keys"):
+        Scenario.from_dict(bad)
+
+
+def test_missing_verdict_rejected():
+    bad = _minimal_dict()
+    del bad["verdict"]
+    with pytest.raises(ScenarioError, match="verdict"):
+        Scenario.from_dict(bad)
+
+
+def test_negative_phase_offset_rejected():
+    bad = _minimal_dict()
+    bad["phases"][0]["at"] = -0.1
+    with pytest.raises(ScenarioError, match="offset"):
+        Scenario.from_dict(bad)
+
+
+def test_empty_phase_rejected():
+    bad = _minimal_dict()
+    bad["phases"][0]["faults"] = []
+    with pytest.raises(ScenarioError, match="at least one fault"):
+        Scenario.from_dict(bad)
+
+
+def test_repeat_needs_spacing():
+    with pytest.raises(ScenarioError, match="every"):
+        Phase(
+            name="loop",
+            at=0.1,
+            faults=(FaultEntry(kind="task_kill", target="a"),),
+            repeat=3,
+        ).validate()
+
+
+def test_verdict_consistency_enforced():
+    with pytest.raises(ScenarioError, match="allow_announced_divergence"):
+        VerdictSpec(
+            exactly_once=False, allow_announced_divergence=False
+        ).validate()
+
+
+def test_invalid_fault_parameters_rejected_at_load():
+    bad = _minimal_dict()
+    bad["phases"][0]["faults"][0] = {"kind": "compute_slowdown",
+                                     "target": "stage1[0]", "factor": 0.5}
+    with pytest.raises(ScenarioError, match="factor"):
+        Scenario.from_dict(bad)
+
+
+def test_repeat_flattens_into_spaced_specs():
+    scenario = Scenario(
+        name="loop",
+        description="",
+        phases=(
+            Phase(
+                name="loop",
+                at=0.1,
+                faults=(FaultEntry(kind="task_kill", target="a", at=0.02),),
+                repeat=3,
+                every=0.5,
+            ),
+        ),
+    )
+    ats = [round(s.at, 4) for s in scenario.fault_plan().specs]
+    assert ats == [0.12, 0.62, 1.12]
+
+
+def test_fault_plan_seed_override():
+    scenario = scenario_by_name("backpressure_storm")
+    assert scenario.fault_plan().seed == scenario.seed
+    assert scenario.fault_plan(seed=99).seed == 99
+
+
+def test_library_names_are_unique_and_lookup_works():
+    names = [s.name for s in SCENARIOS]
+    assert len(names) == len(set(names))
+    assert len(names) >= 10
+    assert scenario_by_name(names[0]) is SCENARIOS[0]
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        scenario_by_name("nope")
